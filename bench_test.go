@@ -1,0 +1,226 @@
+package meryn
+
+// The benchmark harness regenerates every table and figure in the
+// paper's evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable1ProcessingTime  -> Table 1
+//	BenchmarkFig5MerynUsage        -> Figure 5(a)
+//	BenchmarkFig5StaticUsage       -> Figure 5(b)
+//	BenchmarkFig6CompletionTime    -> Figure 6(a)
+//	BenchmarkFig6Cost              -> Figure 6(b)
+//	BenchmarkAblation*             -> DESIGN.md ablations A1-A5
+//
+// Each benchmark reports the headline quantities as custom metrics so
+// the paper-vs-measured comparison appears directly in the bench output.
+
+import (
+	"testing"
+
+	"meryn/internal/core"
+	"meryn/internal/exp"
+	"meryn/internal/metrics"
+)
+
+// BenchmarkTable1ProcessingTime regenerates Table 1: processing time per
+// placement case. Metrics: mean seconds per case (paper midpoints: local
+// 11, vc 49, cloud 72, local+susp 13.5, vc+susp 64).
+func BenchmarkTable1ProcessingTime(b *testing.B) {
+	var last *exp.Table1Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table1(5, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Measured.Mean(), shortCase(row.Case)+"_s")
+	}
+}
+
+func shortCase(name string) string {
+	switch name {
+	case "local-vm":
+		return "local"
+	case "vc-vm":
+		return "vc"
+	case "cloud-vm":
+		return "cloud"
+	case "local-vm after suspension":
+		return "local+susp"
+	case "vc-vm after suspension":
+		return "vc+susp"
+	}
+	return name
+}
+
+func runPaperScenario(b *testing.B, policy core.Policy) *core.Results {
+	b.Helper()
+	var res *core.Results
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Scenario{Policy: policy, Seed: int64(i) + 1}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	return res
+}
+
+// BenchmarkFig5MerynUsage regenerates Figure 5(a). Metrics: peak private
+// and cloud VM usage under Meryn (paper: 50 and 15).
+func BenchmarkFig5MerynUsage(b *testing.B) {
+	res := runPaperScenario(b, core.PolicyMeryn)
+	b.ReportMetric(res.PrivateSeries.Max(), "peak_private_vms")
+	b.ReportMetric(res.CloudSeries.Max(), "peak_cloud_vms")
+	b.ReportMetric(res.CloudSeries.Integral(res.PrivateSeries.Points()[res.PrivateSeries.Len()-1].At), "cloud_vm_seconds")
+}
+
+// BenchmarkFig5StaticUsage regenerates Figure 5(b). Metrics: peaks under
+// the static approach (paper: 40 busy private, 25 cloud).
+func BenchmarkFig5StaticUsage(b *testing.B) {
+	res := runPaperScenario(b, core.PolicyStatic)
+	b.ReportMetric(res.PrivateSeries.Max(), "peak_private_vms")
+	b.ReportMetric(res.CloudSeries.Max(), "peak_cloud_vms")
+}
+
+// BenchmarkFig6CompletionTime regenerates Figure 6(a). Metrics: workload
+// completion and mean execution times for both systems (paper: 2021 s vs
+// 2091 s completion; ~2.6% mean exec advantage).
+func BenchmarkFig6CompletionTime(b *testing.B) {
+	var last *exp.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig5(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	mAll := metrics.AggregateRecords(last.Meryn.Ledger.All())
+	sAll := metrics.AggregateRecords(last.Static.Ledger.All())
+	b.ReportMetric(last.Meryn.CompletionTime, "meryn_completion_s")
+	b.ReportMetric(last.Static.CompletionTime, "static_completion_s")
+	b.ReportMetric(mAll.MeanExecTime, "meryn_mean_exec_s")
+	b.ReportMetric(sAll.MeanExecTime, "static_mean_exec_s")
+}
+
+// BenchmarkFig6Cost regenerates Figure 6(b). Metrics: total workload
+// cost per system and the saving percent (paper: 14.07% overall,
+// 16.72% for VC1).
+func BenchmarkFig6Cost(b *testing.B) {
+	var last *exp.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig6(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.MerynTotalCost, "meryn_cost_units")
+	b.ReportMetric(last.StaticTotalCost, "static_cost_units")
+	b.ReportMetric(last.CostSavingPct, "cost_saving_pct")
+	b.ReportMetric(last.VC1CostSavingPct, "vc1_cost_saving_pct")
+}
+
+// BenchmarkAblationPenaltyN regenerates ablation A1 (Eq. 3 divisor
+// sweep). Metrics: provider revenue at N=1 and N=8 on a late workload.
+func BenchmarkAblationPenaltyN(b *testing.B) {
+	var last *exp.PenaltyNResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationPenaltyN(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Points[0].Revenue, "revenue_n1_units")
+	b.ReportMetric(last.Points[len(last.Points)-1].Revenue, "revenue_n8_units")
+}
+
+// BenchmarkAblationBilling regenerates ablation A2 (billing models).
+// Metrics: cloud leases under each model — per-hour round-up drives
+// Algorithm 1 away from the cloud.
+func BenchmarkAblationBilling(b *testing.B) {
+	var last *exp.BillingResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationBilling(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Points[0].CloudLeases), "persec_leases")
+	b.ReportMetric(float64(last.Points[1].CloudLeases), "perhour_leases")
+	b.ReportMetric(float64(last.Points[1].Suspensions), "perhour_suspensions")
+}
+
+// BenchmarkAblationPolicies regenerates ablation A3 (load sweep).
+// Metrics: Meryn's cost saving at the paper's load (50 VC1 apps).
+func BenchmarkAblationPolicies(b *testing.B) {
+	var last *exp.PoliciesResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationPolicies(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var meryn50, static50 float64
+	for _, p := range last.Points {
+		if p.VC1Apps == 50 {
+			if p.Policy == "meryn" {
+				meryn50 = p.TotalCost
+			} else {
+				static50 = p.TotalCost
+			}
+		}
+	}
+	b.ReportMetric((static50-meryn50)/static50*100, "saving_at_load50_pct")
+}
+
+// BenchmarkAblationMarket regenerates ablation A4 (spot volatility).
+// Metrics: cloud spend at zero and maximum volatility.
+func BenchmarkAblationMarket(b *testing.B) {
+	var last *exp.MarketResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationMarket(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Points[0].CloudSpend, "spend_vol0_units")
+	b.ReportMetric(last.Points[len(last.Points)-1].CloudSpend, "spend_vol30_units")
+}
+
+// BenchmarkAblationSuspension regenerates ablation A5 (suspension
+// on/off). Metrics: total cost with and without suspension on the
+// slack-rich workload.
+func BenchmarkAblationSuspension(b *testing.B) {
+	var last *exp.SuspensionResult
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationSuspension(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Points[0].TotalCost, "with_suspension_units")
+	b.ReportMetric(last.Points[1].TotalCost, "without_suspension_units")
+}
+
+// BenchmarkPlatformThroughput measures raw simulation speed: events per
+// second on the full paper scenario (not a paper artifact; a harness
+// health metric).
+func BenchmarkPlatformThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Scenario{Policy: core.PolicyMeryn, Seed: int64(i) + 1}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = r.EventsFired
+	}
+	b.ReportMetric(float64(events), "events/run")
+}

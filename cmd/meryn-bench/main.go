@@ -1,0 +1,72 @@
+// Command meryn-bench regenerates the paper's evaluation artifacts:
+// Table 1, Figures 5(a)/(b) and 6(a)/(b), and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	meryn-bench                 # run everything
+//	meryn-bench -exp fig5       # one experiment
+//	meryn-bench -list           # list experiments
+//	meryn-bench -seed 7 -out report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"meryn/internal/exp"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (see -list)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		outPath = flag.String("out", "", "write the report to a file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Artifact)
+		}
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	run := func(e exp.Experiment) {
+		fmt.Fprintf(out, "=== %s — %s (seed %d) ===\n\n", e.Name, e.Artifact, *seed)
+		r, err := e.Run(*seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		fmt.Fprintln(out, r.Render())
+	}
+
+	if *expName == "all" {
+		for _, e := range exp.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.Find(*expName)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (use -list)", *expName))
+	}
+	run(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "meryn-bench:", err)
+	os.Exit(1)
+}

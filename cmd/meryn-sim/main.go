@@ -1,0 +1,147 @@
+// Command meryn-sim runs one Meryn scenario and prints a run summary:
+// per-VC placements, SLA outcomes, cost/revenue/profit and (optionally)
+// the VM-usage chart or a CSV of the usage series.
+//
+// Usage:
+//
+//	meryn-sim                           # paper workload, Meryn policy
+//	meryn-sim -policy static            # the baseline
+//	meryn-sim -vc1-apps 60 -chart       # heavier load, ASCII usage chart
+//	meryn-sim -trace workload.csv       # replay a trace file
+//	meryn-sim -csv usage.csv            # dump usage series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meryn"
+	"meryn/internal/metrics"
+	"meryn/internal/report"
+	"meryn/internal/sim"
+	"meryn/internal/vmm"
+	"meryn/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "meryn", "resource policy: meryn or static")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		vc1Apps  = flag.Int("vc1-apps", 50, "applications submitted to VC1")
+		vc2Apps  = flag.Int("vc2-apps", 15, "applications submitted to VC2")
+		interarr = flag.Float64("interarrival", 5, "per-stream inter-arrival time [s]")
+		work     = flag.Float64("work", 1550, "application work [reference s]")
+		traceIn  = flag.String("trace", "", "replay a workload trace CSV instead of the synthetic workload")
+		chart    = flag.Bool("chart", false, "print the VM-usage ASCII chart")
+		csvOut   = flag.String("csv", "", "write the usage series as CSV to this file")
+		hier     = flag.Bool("hierarchy", false, "deploy the Snooze-like hierarchical management plane")
+	)
+	flag.Parse()
+
+	cfg := meryn.DefaultConfig()
+	cfg.Seed = *seed
+	if *hier {
+		cfg.Hierarchy = &vmm.HierarchyConfig{GroupManagers: 2}
+	}
+	switch *policy {
+	case "meryn":
+		cfg.Policy = meryn.PolicyMeryn
+	case "static":
+		cfg.Policy = meryn.PolicyStatic
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var wl meryn.Workload
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		wl, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		wl = meryn.CustomPaperWorkload(meryn.PaperWorkloadConfig{
+			Apps:         *vc1Apps + *vc2Apps,
+			VC1Apps:      *vc1Apps,
+			Interarrival: meryn.Seconds(*interarr),
+			Work:         *work,
+			VMsPerApp:    1,
+			VC1:          "vc1",
+			VC2:          "vc2",
+		})
+	}
+
+	p, err := meryn.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := p.Run(wl)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(res)
+
+	if *chart {
+		c := report.Chart{
+			Title:  fmt.Sprintf("Used VMs over time (%s policy)", res.Policy),
+			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
+			YLabel: "used VMs",
+		}
+		fmt.Println()
+		if err := c.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.SeriesCSV(f, sim.Seconds(10), res.PrivateSeries, res.CloudSeries); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nusage series written to %s\n", *csvOut)
+	}
+}
+
+func printSummary(res *meryn.Results) {
+	agg := meryn.AggregateAll(res)
+	fmt.Printf("policy: %s\n", res.Policy)
+	fmt.Printf("applications: %d (deadlines missed: %d)\n", agg.N, agg.DeadlinesMissed)
+	fmt.Printf("completion: %.0f s\n", agg.CompletionTime)
+	fmt.Printf("mean exec: %.0f s  mean turnaround: %.0f s  mean processing: %.1f s\n",
+		agg.MeanExecTime, agg.MeanTurnaround, agg.MeanProcessing)
+	fmt.Printf("cost: %.0f units  revenue: %.0f units  profit: %.0f units\n",
+		agg.TotalCost, agg.TotalRevenue, agg.TotalProfit)
+	fmt.Printf("placements: local=%d vc=%d cloud=%d\n",
+		agg.PlacementCounts[metrics.PlacementLocal],
+		agg.PlacementCounts[metrics.PlacementVC],
+		agg.PlacementCounts[metrics.PlacementCloud])
+	fmt.Printf("peaks: private=%d cloud=%d VMs\n",
+		int(res.PrivateSeries.Max()), int(res.CloudSeries.Max()))
+	fmt.Printf("protocol: bid-rounds=%d transfers=%d leases=%d suspensions=%d resumes=%d\n",
+		res.Counters.BidRounds.Count, res.Counters.VMTransfers.Count,
+		res.Counters.CloudLeases.Count, res.Counters.Suspensions.Count,
+		res.Counters.Resumes.Count)
+	fmt.Printf("cloud spend (provider charges): %.0f units\n", res.CloudSpend)
+
+	for _, vc := range res.Ledger.VCs() {
+		a := meryn.AggregateVC(res, vc)
+		fmt.Printf("  %s: apps=%d mean-exec=%.0fs mean-cost=%.0f local=%d vc=%d cloud=%d\n",
+			vc, a.N, a.MeanExecTime, a.MeanCost,
+			a.PlacementCounts[metrics.PlacementLocal],
+			a.PlacementCounts[metrics.PlacementVC],
+			a.PlacementCounts[metrics.PlacementCloud])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "meryn-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command meryn-trace generates and inspects workload traces in the CSV
+// format consumed by meryn-sim -trace.
+//
+// Usage:
+//
+//	meryn-trace -kind paper > paper.csv
+//	meryn-trace -kind poisson -apps 200 -rate 0.1 -seed 7 > poisson.csv
+//	meryn-trace -kind heavy -apps 100 > heavy.csv
+//	meryn-trace -inspect paper.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meryn/internal/sim"
+	"meryn/internal/stats"
+	"meryn/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "paper", "trace kind: paper, poisson, bursty, heavy, diurnal")
+		apps    = flag.Int("apps", 65, "number of applications (non-paper kinds)")
+		rate    = flag.Float64("rate", 0.2, "poisson arrival rate [1/s]")
+		meanW   = flag.Float64("work", 1550, "mean work [reference s]")
+		vc      = flag.String("vc", "vc1", "target VC (non-paper kinds)")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		inspect = flag.String("inspect", "", "read a trace file and print a summary")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		wl, err := workload.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("apps: %d\n", len(wl))
+		fmt.Printf("span: %.0f s\n", sim.ToSeconds(wl.Span()))
+		byVC := map[string]int{}
+		totalWork := 0.0
+		for _, a := range wl {
+			byVC[a.VC]++
+			totalWork += a.Work
+		}
+		for vcName, n := range byVC {
+			fmt.Printf("  %s: %d apps\n", vcName, n)
+		}
+		fmt.Printf("total work: %.0f reference seconds\n", totalWork)
+		return
+	}
+
+	var wl workload.Workload
+	switch *kind {
+	case "paper":
+		wl = workload.Paper(workload.DefaultPaperConfig())
+	case "poisson":
+		wl = workload.Generate(workload.GenConfig{
+			Apps: *apps, VC: *vc, Seed: *seed,
+			Interarrival: stats.Exponential{MeanV: 1 / *rate},
+			Work:         stats.Normal{Mu: *meanW, Sigma: *meanW / 10, Min: 1},
+		})
+	case "bursty":
+		// Bursts: very short gaps with occasional long silences
+		// (hyperexponential via empirical mixture).
+		wl = workload.Generate(workload.GenConfig{
+			Apps: *apps, VC: *vc, Seed: *seed,
+			Interarrival: stats.Empirical{Values: []float64{1, 1, 1, 1, 2, 2, 3, 120, 300}},
+			Work:         stats.Normal{Mu: *meanW, Sigma: *meanW / 10, Min: 1},
+		})
+	case "heavy":
+		// Heavy-tailed job sizes (bounded Pareto), the canonical
+		// datacenter shape.
+		wl = workload.Generate(workload.GenConfig{
+			Apps: *apps, VC: *vc, Seed: *seed,
+			Interarrival: stats.Exponential{MeanV: 1 / *rate},
+			Work:         stats.Pareto{Alpha: 1.2, XMin: *meanW / 10, XMax: *meanW * 20},
+		})
+	case "diurnal":
+		// Poisson arrivals modulated by a day/night cycle (compressed to
+		// a 2-hour "day" so simulations stay short).
+		wl = workload.Generate(workload.GenConfig{
+			Apps: *apps, VC: *vc, Seed: *seed,
+			Interarrival: stats.Exponential{MeanV: 1 / *rate},
+			Work:         stats.Normal{Mu: *meanW, Sigma: *meanW / 10, Min: 1},
+			Diurnal:      &workload.Diurnal{Period: sim.Seconds(7200), NightFactor: 6},
+		})
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err := workload.WriteTrace(os.Stdout, wl); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "meryn-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package meryn_test
+
+import (
+	"fmt"
+	"log"
+
+	"meryn"
+)
+
+// Example reproduces the paper's headline experiment: the synthetic
+// workload on the default platform, reporting the placement split that
+// the paper's Figure 5(a) visualizes.
+func Example() {
+	platform, err := meryn.New(meryn.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := platform.Run(meryn.PaperWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := meryn.AggregateAll(res)
+	fmt.Printf("apps=%d missed=%d peak-cloud=%d\n",
+		agg.N, agg.DeadlinesMissed, int(res.CloudSeries.Max()))
+	// Output: apps=65 missed=0 peak-cloud=15
+}
+
+// ExampleNew_static runs the paper's baseline: static partitioning with
+// cloud bursting only, which needs 25 cloud VMs instead of Meryn's 15.
+func ExampleNew_static() {
+	cfg := meryn.DefaultConfig()
+	cfg.Policy = meryn.PolicyStatic
+	platform, err := meryn.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := platform.Run(meryn.PaperWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy=%s peak-cloud=%d\n", res.Policy, int(res.CloudSeries.Max()))
+	// Output: policy=static peak-cloud=25
+}
+
+// ExampleGenerateWorkload builds a reproducible stochastic workload.
+func ExampleGenerateWorkload() {
+	w := meryn.GenerateWorkload(meryn.GenConfig{Apps: 3, VC: "vc1", Seed: 7})
+	fmt.Println(len(w), w[0].VC)
+	// Output: 3 vc1
+}

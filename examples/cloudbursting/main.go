@@ -1,0 +1,65 @@
+// Cloudbursting: compare Meryn's decentralized VM exchange against the
+// static baseline while the load on VC1 grows — the paper's §5
+// experiment as a parameter sweep, with the Figure-5 usage chart for the
+// paper's operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"meryn"
+	"meryn/internal/metrics"
+	"meryn/internal/report"
+)
+
+func runOnce(policy meryn.Policy, vc1Apps int) *meryn.Results {
+	cfg := meryn.DefaultConfig()
+	cfg.Policy = policy
+	cfg.Seed = 1
+	p, err := meryn.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(meryn.CustomPaperWorkload(meryn.PaperWorkloadConfig{
+		Apps:         vc1Apps + 15,
+		VC1Apps:      vc1Apps,
+		Interarrival: meryn.Seconds(5),
+		Work:         1550,
+		VMsPerApp:    1,
+		VC1:          "vc1",
+		VC2:          "vc2",
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Cloud bursting under increasing VC1 load (VC2 fixed at 15 apps)")
+	fmt.Printf("%-10s %-16s %-16s %-14s %-14s\n",
+		"vc1 apps", "meryn cost [u]", "static cost [u]", "meryn cloud", "static cloud")
+	for _, load := range []int{25, 35, 45, 50, 60} {
+		m := runOnce(meryn.PolicyMeryn, load)
+		s := runOnce(meryn.PolicyStatic, load)
+		mAgg := meryn.AggregateAll(m)
+		sAgg := meryn.AggregateAll(s)
+		fmt.Printf("%-10d %-16.0f %-16.0f %-14d %-14d\n",
+			load, mAgg.TotalCost, sAgg.TotalCost,
+			int(m.CloudSeries.Max()), int(s.CloudSeries.Max()))
+	}
+
+	// The paper's operating point, drawn as Figure 5(a).
+	res := runOnce(meryn.PolicyMeryn, 50)
+	fmt.Println()
+	chart := report.Chart{
+		Title:  "Used private and cloud VMs with Meryn (cf. paper Figure 5a)",
+		Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
+		YLabel: "used VMs",
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

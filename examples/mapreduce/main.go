@@ -1,0 +1,71 @@
+// Mapreduce: host a Hadoop-like MapReduce virtual cluster next to a
+// batch VC — the paper's extensibility claim — and run mixed workloads.
+// The MapReduce VC negotiates SLAs with the wave-based performance model
+// (the paper's stated future work) and participates in VM exchange like
+// any other VC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meryn"
+	"meryn/internal/metrics"
+)
+
+func main() {
+	cfg := meryn.DefaultConfig()
+	cfg.Seed = 1
+	cfg.VCs = []meryn.VCConfig{
+		{Name: "batch", Type: meryn.TypeBatch, InitialVMs: 10},
+		{Name: "hadoop", Type: meryn.TypeMapReduce, InitialVMs: 15, SlotsPerNode: 2},
+	}
+	p, err := meryn.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed stream: MapReduce analytics jobs plus batch jobs that
+	// overflow the batch VC, forcing it to borrow from the Hadoop VC's
+	// idle VMs (decentralized VM exchange across framework types). Two
+	// sort jobs book 4 VMs each, leaving the Hadoop VC spare capacity to
+	// lend; each job's SLA uses the wave-based MapReduce model.
+	var wl meryn.Workload
+	for i := 0; i < 2; i++ {
+		wl = append(wl, meryn.App{
+			ID:   fmt.Sprintf("sort-%d", i),
+			Type: meryn.TypeMapReduce, VC: "hadoop",
+			SubmitAt: meryn.Seconds(float64(i) * 10),
+			VMs:      4, MapTasks: 16, ReduceTasks: 4,
+			MapWork: 120, ReduceWork: 60,
+		})
+	}
+	for i := 0; i < 13; i++ {
+		wl = append(wl, meryn.App{
+			ID:   fmt.Sprintf("batch-%d", i),
+			Type: meryn.TypeBatch, VC: "batch",
+			SubmitAt: meryn.Seconds(float64(i) * 5),
+			VMs:      1, Work: 1000,
+		})
+	}
+	res, err := p.Run(meryn.MergeWorkloads(wl))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Mixed batch + MapReduce deployment")
+	for _, vc := range res.Ledger.VCs() {
+		a := meryn.AggregateVC(res, vc)
+		fmt.Printf("  %s: %d apps, mean exec %.0f s, mean processing %.1f s, missed %d\n",
+			vc, a.N, a.MeanExecTime, a.MeanProcessing, a.DeadlinesMissed)
+	}
+	agg := meryn.AggregateAll(res)
+	fmt.Printf("placements: local=%d vc=%d cloud=%d\n",
+		agg.PlacementCounts[metrics.PlacementLocal],
+		agg.PlacementCounts[metrics.PlacementVC],
+		agg.PlacementCounts[metrics.PlacementCloud])
+	fmt.Printf("VM transfers between the two framework types: %d\n",
+		res.Counters.VMTransfers.Count)
+	fmt.Printf("suspensions: %d, cloud leases: %d\n",
+		res.Counters.Suspensions.Count, res.Counters.CloudLeases.Count)
+}

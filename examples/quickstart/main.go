@@ -1,0 +1,48 @@
+// Quickstart: build the paper's default Meryn platform, run the paper's
+// synthetic workload, and print the headline numbers — the minimal
+// end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meryn"
+)
+
+func main() {
+	// The default config is the paper's testbed: 50 private VMs split
+	// over two batch virtual clusters (25 each) and one EC2-like public
+	// cloud with infinite capacity. Private VMs cost 2 units/VM-second,
+	// cloud VMs 4.
+	platform, err := meryn.New(meryn.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's workload: 65 single-VM batch applications, 5 s apart,
+	// 50 to VC1 and 15 to VC2.
+	results, err := platform.Run(meryn.PaperWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agg := meryn.AggregateAll(results)
+	fmt.Println("Meryn quickstart — paper workload on the default platform")
+	fmt.Printf("  applications:        %d\n", agg.N)
+	fmt.Printf("  deadlines missed:    %d\n", agg.DeadlinesMissed)
+	fmt.Printf("  workload completion: %.0f s\n", agg.CompletionTime)
+	fmt.Printf("  total cost:          %.0f units\n", agg.TotalCost)
+	fmt.Printf("  total revenue:       %.0f units\n", agg.TotalRevenue)
+	fmt.Printf("  provider profit:     %.0f units\n", agg.TotalProfit)
+	fmt.Printf("  peak cloud VMs:      %d (the static baseline needs 25)\n",
+		int(results.CloudSeries.Max()))
+
+	// Per-VC view: VC1 overflows onto borrowed and cloud VMs; VC2 stays
+	// comfortably private and lends its spare capacity.
+	for _, vc := range results.Ledger.VCs() {
+		a := meryn.AggregateVC(results, vc)
+		fmt.Printf("  %s: %d apps, mean exec %.0f s, mean cost %.0f units\n",
+			vc, a.N, a.MeanExecTime, a.MeanCost)
+	}
+}

@@ -1,0 +1,73 @@
+// Sweep: run many independent simulations in parallel across CPU cores —
+// the harness pattern for producing statistically robust versions of the
+// paper's figures. Here: 20 seeds x 2 policies of the paper scenario,
+// reporting mean and spread of the cost saving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+
+	"meryn"
+	"meryn/internal/exp"
+	"meryn/internal/stats"
+)
+
+func main() {
+	const seeds = 20
+	type outcome struct {
+		seed       int64
+		merynCost  float64
+		staticCost float64
+		merynPeak  int
+		staticPeak int
+	}
+	outcomes := make([]outcome, seeds)
+
+	var mu sync.Mutex
+	var firstErr error
+	exp.Parallel(seeds*2, runtime.GOMAXPROCS(0), func(i int) {
+		seed := int64(i/2) + 1
+		policy := meryn.PolicyMeryn
+		if i%2 == 1 {
+			policy = meryn.PolicyStatic
+		}
+		res, err := exp.Scenario{Policy: policy, Seed: seed}.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		agg := meryn.AggregateAll(res)
+		o := &outcomes[i/2]
+		o.seed = seed
+		if policy == meryn.PolicyMeryn {
+			o.merynCost = agg.TotalCost
+			o.merynPeak = int(res.CloudSeries.Max())
+		} else {
+			o.staticCost = agg.TotalCost
+			o.staticPeak = int(res.CloudSeries.Max())
+		}
+	})
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+
+	var saving, mPeak, sPeak stats.Summary
+	for _, o := range outcomes {
+		saving.Add((o.staticCost - o.merynCost) / o.staticCost * 100)
+		mPeak.Add(float64(o.merynPeak))
+		sPeak.Add(float64(o.staticPeak))
+	}
+	fmt.Printf("paper scenario over %d seeds (%d parallel workers)\n",
+		seeds, runtime.GOMAXPROCS(0))
+	fmt.Printf("  cost saving: mean %.2f%%  min %.2f%%  max %.2f%%  (paper: 14.07%%)\n",
+		saving.Mean(), saving.Min(), saving.Max())
+	fmt.Printf("  peak cloud VMs: meryn %.0f  static %.0f  (paper: 15 vs 25)\n",
+		mPeak.Mean(), sPeak.Mean())
+}

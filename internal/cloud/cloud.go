@@ -1,0 +1,378 @@
+// Package cloud simulates public IaaS providers (the paper's Amazon-EC2-
+// like clouds). A Provider offers instance types at fixed or market
+// (spot-like) prices, launches instances after a provisioning latency,
+// and bills leases per second or per hour. The paper assumes infinite
+// cloud capacity; providers default to that but support quotas, and API
+// failure injection exercises the bursting error paths.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+	"meryn/internal/stats"
+	"meryn/internal/vmm"
+)
+
+// Billing selects how leases are charged.
+type Billing int
+
+// Billing models. The paper charges by execution time (per-second);
+// per-hour round-up is how EC2 billed in 2013 and is kept as an ablation.
+const (
+	BillPerSecond Billing = iota
+	BillPerHour
+)
+
+// String implements fmt.Stringer.
+func (b Billing) String() string {
+	if b == BillPerHour {
+		return "per-hour"
+	}
+	return "per-second"
+}
+
+// InstanceType describes a purchasable VM flavour.
+type InstanceType struct {
+	Name        string
+	Shape       vmm.Shape
+	SpeedFactor float64 // relative CPU speed of the backing hardware
+	Price       float64 // on-demand price, units per VM-second
+}
+
+// InstanceState is the lease lifecycle.
+type InstanceState int
+
+// Instance lifecycle states.
+const (
+	InstancePending InstanceState = iota
+	InstanceRunning
+	InstanceTerminated
+)
+
+// Instance is one leased cloud VM.
+type Instance struct {
+	ID          string
+	Provider    string
+	Type        string
+	Image       string
+	Shape       vmm.Shape
+	SpeedFactor float64
+	State       InstanceState
+
+	LaunchedAt    sim.Time // when the instance became running
+	PriceAtLaunch float64  // units per VM-second locked at launch
+	TerminatedAt  sim.Time
+	Charge        float64 // final bill, set at termination
+}
+
+// MarketConfig enables spot-like price movement around each type's base
+// price. Quotes then return the market price instead of the fixed price.
+type MarketConfig struct {
+	Volatility float64  // shock scale as a fraction of base price
+	Reversion  float64  // mean-reversion strength per tick, in (0,1]
+	Floor      float64  // fraction of base price acting as a floor
+	Tick       sim.Time // how often prices move
+}
+
+// Config configures a Provider.
+type Config struct {
+	Name             string
+	Types            []InstanceType
+	ProvisionLatency stats.Dist // request to running
+	TerminateLatency stats.Dist // request to terminated
+	Billing          Billing
+	Quota            int // max concurrent instances; 0 = unlimited (paper assumption)
+	Seed             int64
+	Market           *MarketConfig // nil = fixed on-demand pricing
+
+	// FailureProb is the probability that a launch request fails with
+	// ErrLaunchFailed (API flakiness injection).
+	FailureProb float64
+}
+
+// Errors returned by Provider operations.
+var (
+	ErrUnknownType  = errors.New("cloud: unknown instance type")
+	ErrNoImage      = errors.New("cloud: image not uploaded to this provider")
+	ErrQuota        = errors.New("cloud: quota exceeded")
+	ErrLaunchFailed = errors.New("cloud: launch request failed")
+	ErrNotFound     = errors.New("cloud: no such instance")
+	ErrBadState     = errors.New("cloud: instance not running")
+)
+
+// Provider is one public cloud endpoint.
+type Provider struct {
+	eng        *sim.Engine
+	cfg        Config
+	rng        *sim.RNG
+	types      map[string]InstanceType
+	markets    map[string]*stats.MarketPrice
+	marketAt   sim.Time // last market advance
+	namesCache []string
+	images     map[string]bool
+	leases     map[string]*Instance
+	nextID     int
+	active     int
+
+	// UsedGauge tracks pending+running instances over time (Figure 5's
+	// "Cloud VMs" curve is the sum of these across providers).
+	UsedGauge *metrics.Gauge
+	// TotalSpend accumulates final charges from terminated leases.
+	TotalSpend float64
+	// Launches and Failures count API outcomes.
+	Launches metrics.Counter
+	Failures metrics.Counter
+}
+
+// New validates cfg and returns a Provider.
+func New(eng *sim.Engine, cfg Config) (*Provider, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("cloud: Config.Name is required")
+	}
+	if len(cfg.Types) == 0 {
+		return nil, errors.New("cloud: at least one instance type is required")
+	}
+	if cfg.ProvisionLatency == nil {
+		cfg.ProvisionLatency = stats.Constant{}
+	}
+	if cfg.TerminateLatency == nil {
+		cfg.TerminateLatency = stats.Constant{}
+	}
+	p := &Provider{
+		eng:       eng,
+		cfg:       cfg,
+		rng:       sim.NewRNG(cfg.Seed, "cloud/"+cfg.Name),
+		types:     make(map[string]InstanceType),
+		markets:   make(map[string]*stats.MarketPrice),
+		images:    make(map[string]bool),
+		leases:    make(map[string]*Instance),
+		UsedGauge: metrics.NewGauge("cloud/" + cfg.Name + "/used"),
+	}
+	for _, it := range cfg.Types {
+		if it.Price < 0 {
+			return nil, fmt.Errorf("cloud: instance type %q has negative price", it.Name)
+		}
+		if it.SpeedFactor <= 0 {
+			it.SpeedFactor = 1.0
+		}
+		p.types[it.Name] = it
+	}
+	if cfg.Market != nil {
+		if cfg.Market.Tick <= 0 {
+			cfg.Market.Tick = sim.Seconds(60)
+		}
+		p.cfg = cfg
+		for name, it := range p.types {
+			m := stats.NewMarketPrice(it.Price, cfg.Market.Volatility, cfg.Market.Reversion,
+				it.Price*cfg.Market.Floor, p.rng.Fork("market/"+name))
+			p.markets[name] = m
+		}
+	}
+	return p, nil
+}
+
+// advanceMarkets steps every market price forward to the present. Prices
+// move lazily — one Step per elapsed tick since the last advance — so no
+// periodic event keeps the simulation alive artificially. The step count
+// per call is bounded; extremely long idle gaps advance by the cap,
+// which preserves the stationary distribution.
+func (p *Provider) advanceMarkets() {
+	if p.cfg.Market == nil {
+		return
+	}
+	now := p.eng.Now()
+	steps := int((now - p.marketAt) / p.cfg.Market.Tick)
+	const maxSteps = 4096
+	if steps > maxSteps {
+		steps = maxSteps
+	}
+	if steps <= 0 {
+		return
+	}
+	p.marketAt = now
+	for i := 0; i < steps; i++ {
+		for _, name := range p.typeNames() {
+			p.markets[name].Step()
+		}
+	}
+}
+
+// typeNames returns instance type names in stable order (market stepping
+// must be deterministic).
+func (p *Provider) typeNames() []string {
+	if p.namesCache == nil {
+		for name := range p.types {
+			p.namesCache = append(p.namesCache, name)
+		}
+		sort.Strings(p.namesCache)
+	}
+	return p.namesCache
+}
+
+// Name returns the provider name.
+func (p *Provider) Name() string { return p.cfg.Name }
+
+// Billing returns the billing model.
+func (p *Provider) Billing() Billing { return p.cfg.Billing }
+
+// RegisterImage uploads a framework disk image to the provider (paper
+// §3.5: images are saved in the clouds before any bursting).
+func (p *Provider) RegisterImage(name string) { p.images[name] = true }
+
+// Active returns the number of pending+running instances.
+func (p *Provider) Active() int { return p.active }
+
+// Quote returns the current price (units per VM-second) for an instance
+// type: the market price when market pricing is enabled, the fixed
+// on-demand price otherwise. This is the "current market VM price"
+// request in the paper's Algorithm 1.
+func (p *Provider) Quote(typeName string) (float64, error) {
+	it, ok := p.types[typeName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	if m, ok := p.markets[typeName]; ok {
+		p.advanceMarkets()
+		return m.Current(), nil
+	}
+	return it.Price, nil
+}
+
+// Launch leases a new instance with the given image. The completion fires
+// after the provisioning latency with the running instance, or
+// synchronously with an error (unknown type, missing image, quota) or
+// after the latency with ErrLaunchFailed when failure injection strikes.
+func (p *Provider) Launch(typeName, image string, done func(*Instance, error)) {
+	if done == nil {
+		panic("cloud: Launch with nil completion")
+	}
+	it, ok := p.types[typeName]
+	if !ok {
+		done(nil, fmt.Errorf("%w: %q", ErrUnknownType, typeName))
+		return
+	}
+	if !p.images[image] {
+		done(nil, fmt.Errorf("%w: %q", ErrNoImage, image))
+		return
+	}
+	if p.cfg.Quota > 0 && p.active >= p.cfg.Quota {
+		done(nil, ErrQuota)
+		return
+	}
+	price, err := p.Quote(typeName)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	inst := &Instance{
+		ID:          fmt.Sprintf("%s-i%04d", p.cfg.Name, p.nextID),
+		Provider:    p.cfg.Name,
+		Type:        typeName,
+		Image:       image,
+		Shape:       it.Shape,
+		SpeedFactor: it.SpeedFactor,
+		State:       InstancePending,
+	}
+	p.nextID++
+	p.leases[inst.ID] = inst
+	p.active++
+	p.UsedGauge.Add(p.eng.Now(), 1)
+
+	lat := sim.Seconds(p.cfg.ProvisionLatency.Sample(p.rng))
+	failed := p.cfg.FailureProb > 0 && p.rng.Float64() < p.cfg.FailureProb
+	p.eng.Schedule(lat, func() {
+		if failed {
+			inst.State = InstanceTerminated
+			p.active--
+			p.UsedGauge.Add(p.eng.Now(), -1)
+			p.Failures.Inc()
+			done(nil, ErrLaunchFailed)
+			return
+		}
+		inst.State = InstanceRunning
+		inst.LaunchedAt = p.eng.Now()
+		inst.PriceAtLaunch = price
+		p.Launches.Inc()
+		done(inst, nil)
+	})
+}
+
+// Terminate stops a lease. The completion receives the final charge.
+func (p *Provider) Terminate(id string, done func(charge float64, err error)) {
+	if done == nil {
+		panic("cloud: Terminate with nil completion")
+	}
+	inst, ok := p.leases[id]
+	if !ok {
+		done(0, fmt.Errorf("%w: %s", ErrNotFound, id))
+		return
+	}
+	if inst.State != InstanceRunning {
+		done(0, fmt.Errorf("%w: %s is not running", ErrBadState, id))
+		return
+	}
+	lat := sim.Seconds(p.cfg.TerminateLatency.Sample(p.rng))
+	p.eng.Schedule(lat, func() {
+		inst.State = InstanceTerminated
+		inst.TerminatedAt = p.eng.Now()
+		inst.Charge = p.bill(inst)
+		p.TotalSpend += inst.Charge
+		p.active--
+		p.UsedGauge.Add(p.eng.Now(), -1)
+		done(inst.Charge, nil)
+	})
+}
+
+// bill computes the lease charge under the provider's billing model.
+func (p *Provider) bill(inst *Instance) float64 {
+	dur := sim.ToSeconds(inst.TerminatedAt - inst.LaunchedAt)
+	if dur < 0 {
+		dur = 0
+	}
+	switch p.cfg.Billing {
+	case BillPerHour:
+		hours := dur / 3600
+		whole := float64(int(hours))
+		if hours > whole {
+			whole++
+		}
+		if whole == 0 && dur > 0 {
+			whole = 1
+		}
+		return whole * 3600 * inst.PriceAtLaunch
+	default:
+		return dur * inst.PriceAtLaunch
+	}
+}
+
+// CostIfRunFor returns what a lease of the given type would cost for a
+// duration, at current quotes — the estimate Algorithm 1 compares against
+// VC bids.
+func (p *Provider) CostIfRunFor(typeName string, d sim.Time) (float64, error) {
+	price, err := p.Quote(typeName)
+	if err != nil {
+		return 0, err
+	}
+	secs := sim.ToSeconds(d)
+	if secs < 0 {
+		secs = 0
+	}
+	switch p.cfg.Billing {
+	case BillPerHour:
+		hours := secs / 3600
+		whole := float64(int(hours))
+		if hours > whole {
+			whole++
+		}
+		if whole == 0 && secs > 0 {
+			whole = 1
+		}
+		return whole * 3600 * price, nil
+	default:
+		return secs * price, nil
+	}
+}

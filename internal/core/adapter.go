@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"meryn/internal/framework"
+	"meryn/internal/sim"
+	"meryn/internal/sla"
+	"meryn/internal/workload"
+)
+
+// Adapter is the framework-specific part of a Cluster Manager (paper
+// §3.2): it proposes SLAs for incoming applications and translates the
+// uniform submission template into a framework job. Everything else in
+// the Cluster Manager is generic.
+type Adapter interface {
+	// Validate rejects malformed application descriptions.
+	Validate(app workload.App) error
+	// SLAProvider builds the negotiation counterpart for an application,
+	// embedding the framework's performance model.
+	SLAProvider(app workload.App) *sla.Provider
+	// Translate converts the user template into a framework job (§3.3:
+	// "translates the application description template to another
+	// template compatible with its programming framework").
+	Translate(app workload.App, c *sla.Contract) *framework.Job
+}
+
+// BatchAdapter implements Adapter for batch applications (paper §4.2).
+type BatchAdapter struct {
+	// ConservativeSpeed is the node speed assumed for estimates; the
+	// paper uses the slowest (cloud) execution time.
+	ConservativeSpeed float64
+	// Processing is Eq. 1's processing-time allowance.
+	Processing sim.Time
+	// VMPrice, PenaltyN, MaxPenaltyFrac parameterize the SLA terms.
+	VMPrice        float64
+	PenaltyN       float64
+	MaxPenaltyFrac float64
+	// ScaleOutLimit bounds the (deadline, price) proposal set: offers
+	// cover the requested VM count up to ScaleOutLimit times it ("a set
+	// of pairs", §4.2.1). Values below 2 offer only the requested count.
+	ScaleOutLimit int
+}
+
+var _ Adapter = (*BatchAdapter)(nil)
+
+// Validate implements Adapter.
+func (a *BatchAdapter) Validate(app workload.App) error {
+	if app.VMs < 1 {
+		return fmt.Errorf("core: batch app %s requests %d VMs", app.ID, app.VMs)
+	}
+	if app.Work <= 0 {
+		return fmt.Errorf("core: batch app %s has no work", app.ID)
+	}
+	return nil
+}
+
+// execEst is the batch performance model: perfect scaling over dedicated
+// VMs at the conservative node speed.
+func (a *BatchAdapter) execEst(app workload.App) sla.PerfModel {
+	return func(n int) sim.Time {
+		return sim.Seconds(app.Work / a.ConservativeSpeed / float64(n))
+	}
+}
+
+// SLAProvider implements Adapter. The first offer carries exactly the VM
+// count the application requested (so accept-first users get the paper's
+// behaviour); further offers scale the count up to ScaleOutLimit times
+// for deadline-constrained users to buy speed.
+func (a *BatchAdapter) SLAProvider(app workload.App) *sla.Provider {
+	maxVMs := app.VMs
+	if a.ScaleOutLimit > 1 {
+		maxVMs = app.VMs * a.ScaleOutLimit
+	}
+	return &sla.Provider{
+		Model:          a.execEst(app),
+		Processing:     a.Processing,
+		VMPrice:        a.VMPrice,
+		PenaltyN:       a.PenaltyN,
+		MaxPenaltyFrac: a.MaxPenaltyFrac,
+		MinVMs:         app.VMs,
+		MaxVMs:         maxVMs,
+	}
+}
+
+// Translate implements Adapter.
+func (a *BatchAdapter) Translate(app workload.App, c *sla.Contract) *framework.Job {
+	return &framework.Job{ID: app.ID, VMs: c.NumVMs, Work: app.Work}
+}
+
+// MapReduceAdapter implements Adapter for MapReduce applications — the
+// paper's stated future work ("propose a bid computation model and an
+// SLA function for MapReduce applications"), realized here.
+type MapReduceAdapter struct {
+	ConservativeSpeed float64
+	Processing        sim.Time
+	VMPrice           float64
+	PenaltyN          float64
+	MaxPenaltyFrac    float64
+	SlotsPerNode      int
+	// ScaleOutLimit mirrors BatchAdapter.ScaleOutLimit.
+	ScaleOutLimit int
+}
+
+var _ Adapter = (*MapReduceAdapter)(nil)
+
+// Validate implements Adapter.
+func (a *MapReduceAdapter) Validate(app workload.App) error {
+	if app.VMs < 1 {
+		return fmt.Errorf("core: mapreduce app %s requests %d VMs", app.ID, app.VMs)
+	}
+	if app.MapTasks < 1 || app.MapWork <= 0 {
+		return fmt.Errorf("core: mapreduce app %s has no map phase", app.ID)
+	}
+	if app.ReduceTasks > 0 && app.ReduceWork <= 0 {
+		return fmt.Errorf("core: mapreduce app %s has reduces without work", app.ID)
+	}
+	return nil
+}
+
+// execEst is the MapReduce performance model: wave-based completion for
+// both phases given n nodes of slotsPerNode slots each at the
+// conservative speed. This is the SLA function for MapReduce the paper
+// leaves as future work.
+func (a *MapReduceAdapter) execEst(app workload.App) sla.PerfModel {
+	slots := a.SlotsPerNode
+	if slots <= 0 {
+		slots = 2
+	}
+	return func(n int) sim.Time {
+		total := float64(n * slots)
+		mapWaves := math.Ceil(float64(app.MapTasks) / total)
+		redWaves := math.Ceil(float64(app.ReduceTasks) / total)
+		secs := (mapWaves*app.MapWork + redWaves*app.ReduceWork) / a.ConservativeSpeed
+		return sim.Seconds(secs)
+	}
+}
+
+// SLAProvider implements Adapter.
+func (a *MapReduceAdapter) SLAProvider(app workload.App) *sla.Provider {
+	maxVMs := app.VMs
+	if a.ScaleOutLimit > 1 {
+		maxVMs = app.VMs * a.ScaleOutLimit
+	}
+	return &sla.Provider{
+		Model:          a.execEst(app),
+		Processing:     a.Processing,
+		VMPrice:        a.VMPrice,
+		PenaltyN:       a.PenaltyN,
+		MaxPenaltyFrac: a.MaxPenaltyFrac,
+		MinVMs:         app.VMs,
+		MaxVMs:         maxVMs,
+	}
+}
+
+// Translate implements Adapter.
+func (a *MapReduceAdapter) Translate(app workload.App, c *sla.Contract) *framework.Job {
+	return &framework.Job{
+		ID:          app.ID,
+		VMs:         c.NumVMs,
+		MapTasks:    app.MapTasks,
+		ReduceTasks: app.ReduceTasks,
+		MapWork:     app.MapWork,
+		ReduceWork:  app.ReduceWork,
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"meryn/internal/framework"
+	"meryn/internal/sim"
+)
+
+// Enforcer reacts to SLA violations reported by Application Controllers.
+// The paper leaves enforcement policies open ("the Cluster Manager
+// proceeds to address the SLA violation according to specific policies
+// that are not treated in this paper"); the hook is the extension point.
+type Enforcer interface {
+	// OnViolation fires once per application when its deadline passes
+	// unfinished (projected=false), and once when the controller first
+	// projects that the deadline will be missed (projected=true).
+	OnViolation(cm *ClusterManager, appID string, projected bool)
+}
+
+// NoopEnforcer records violations without intervening (the default).
+type NoopEnforcer struct{}
+
+// OnViolation implements Enforcer.
+func (NoopEnforcer) OnViolation(*ClusterManager, string, bool) {}
+
+// ScaleOutEnforcer reacts to projected violations by leasing extra cloud
+// VMs for the affected VC — one concrete instantiation of the
+// enforcement policies the paper leaves open. It is most effective for
+// slot-scheduled frameworks (MapReduce), where added nodes immediately
+// absorb queued tasks; the idle-cloud GC reclaims the VMs afterwards.
+type ScaleOutEnforcer struct {
+	// BoostVMs is how many cloud VMs to add per projected violation
+	// (default 1).
+	BoostVMs int
+	// MaxBoosts caps total interventions per run (default 16).
+	MaxBoosts int
+
+	boosts int
+}
+
+// OnViolation implements Enforcer.
+func (e *ScaleOutEnforcer) OnViolation(cm *ClusterManager, _ string, projected bool) {
+	if !projected {
+		return // too late to help; the penalty machinery settles it
+	}
+	maxBoosts := e.MaxBoosts
+	if maxBoosts <= 0 {
+		maxBoosts = 16
+	}
+	if e.boosts >= maxBoosts {
+		return
+	}
+	n := e.BoostVMs
+	if n <= 0 {
+		n = 1
+	}
+	e.boosts++
+	cm.BoostWithCloud(n)
+}
+
+// AppController monitors one application's execution progress and SLA
+// satisfaction until the end of its execution (paper §3.2/§3.3).
+type AppController struct {
+	cm   *ClusterManager
+	st   *appState
+	tick *sim.Timer
+
+	reportedProjected bool
+	reportedViolation bool
+}
+
+// newAppController starts monitoring; the controller lives until the
+// application finishes.
+func newAppController(cm *ClusterManager, st *appState) *AppController {
+	ac := &AppController{cm: cm, st: st}
+	ac.tick = cm.p.Eng.Every(cm.p.cfg.MonitorInterval, ac.check)
+	return ac
+}
+
+// check inspects progress and deadline status.
+func (ac *AppController) check() {
+	st := ac.st
+	if st.job == nil || st.job.State == framework.JobDone {
+		ac.stop()
+		return
+	}
+	now := ac.cm.p.Eng.Now()
+	deadline := st.rec.Deadline
+
+	// Hard violation: the deadline passed and the application has not
+	// finished. The Cluster Manager is informed exactly once.
+	if now > deadline && !ac.reportedViolation {
+		ac.reportedViolation = true
+		ac.cm.p.Counters.Violations.Inc()
+		ac.cm.p.cfg.Enforcer.OnViolation(ac.cm, st.app.ID, false)
+		return
+	}
+
+	// Early warning: project the finish time from observed progress.
+	if ac.reportedProjected || ac.reportedViolation {
+		return
+	}
+	progress, err := ac.cm.fw.Progress(st.app.ID)
+	if err != nil || progress <= 0 {
+		// Not started yet: project from the conservative estimate.
+		if now+st.contract.ExecEst > deadline {
+			ac.reportProjected()
+		}
+		return
+	}
+	elapsed := now - st.job.StartedAt
+	if progress >= 1 || elapsed <= 0 {
+		return
+	}
+	eta := now + sim.Time(float64(elapsed)*(1-progress)/progress)
+	if eta > deadline {
+		ac.reportProjected()
+	}
+}
+
+func (ac *AppController) reportProjected() {
+	ac.reportedProjected = true
+	ac.cm.p.Counters.Projected.Inc()
+	ac.cm.p.cfg.Enforcer.OnViolation(ac.cm, ac.st.app.ID, true)
+}
+
+// stop cancels the monitor.
+func (ac *AppController) stop() {
+	if ac.tick != nil {
+		ac.tick.Cancel()
+		ac.tick = nil
+	}
+}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"fmt"
+
+	"meryn/internal/cloud"
+	"meryn/internal/framework"
+	"meryn/internal/framework/batch"
+	"meryn/internal/framework/mapreduce"
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+	"meryn/internal/sla"
+	"meryn/internal/vmm"
+	"meryn/internal/workload"
+)
+
+// nodeInfo is the Cluster Manager's view of one attached node.
+type nodeInfo struct {
+	cloud    bool
+	rate     float64 // provider-side cost, units per VM-second
+	provider *cloud.Provider
+	instID   string // cloud lease ID ("" for private)
+}
+
+// appState tracks one application through its life in a VC.
+type appState struct {
+	app      workload.App
+	contract *sla.Contract
+	rec      *metrics.AppRecord
+	job      *framework.Job
+
+	// Current execution segment (between OnStart and OnSuspend/OnFinish).
+	segStart sim.Time
+	segNodes []string
+
+	// loan is non-nil when the app runs on VMs borrowed under a
+	// suspension-backed loan that must be returned at completion.
+	loan *loan
+
+	controller *AppController
+}
+
+// loan records a suspension-backed VM loan between two VCs (paper §4.2.2:
+// "it expects the requester VC to give back the VMs before the end of
+// the requested duration").
+type loan struct {
+	lender   *ClusterManager
+	borrower *ClusterManager
+	n        int
+	victimID string
+}
+
+// victim is a suspended application awaiting enough free VMs to resume.
+type victim struct {
+	appID string
+	vms   int
+}
+
+// ClusterManager manages one elastic virtual cluster: its framework, its
+// share of private VMs, leased cloud VMs, SLA contracts and the resource
+// selection protocol (generic part of paper §3.2).
+type ClusterManager struct {
+	name string
+	p    *Platform
+	cfg  VCConfig
+	fw   framework.Framework
+	ad   Adapter
+
+	// avail counts attached nodes not committed to any application —
+	// the CM's admission-control view of "available VMs" in Algorithms
+	// 1 and 2.
+	avail int
+	nodes map[string]*nodeInfo
+	apps  map[string]*appState
+
+	pending  []*appState // apps waiting for any placement option
+	victims  []victim    // suspended apps awaiting resume, FIFO
+	owedLoan []*loan     // loans this CM owes (as borrower), pending return
+
+	// OwnedPrivate counts private VMs currently attached (for reports).
+	OwnedPrivate int
+}
+
+// newClusterManager builds a CM and its framework instance.
+func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
+	cm := &ClusterManager{
+		name:  cfg.Name,
+		p:     p,
+		cfg:   cfg,
+		nodes: make(map[string]*nodeInfo),
+		apps:  make(map[string]*appState),
+	}
+	events := framework.Events{
+		OnStart:   cm.onJobStart,
+		OnSuspend: cm.onJobSuspend,
+		OnFinish:  cm.onJobFinish,
+		OnRequeue: cm.onJobRequeue,
+	}
+	switch cfg.Type {
+	case workload.TypeBatch:
+		cm.fw = batch.New(p.Eng, batch.Config{
+			Name: cfg.Name, Image: cfg.Name + ".img", Events: events, Backfill: cfg.Backfill,
+		})
+		cm.ad = &BatchAdapter{
+			ConservativeSpeed: p.cfg.ConservativeSpeed,
+			Processing:        sim.Seconds(p.cfg.ProcessingEstimate),
+			VMPrice:           p.cfg.UserVMPrice,
+			PenaltyN:          p.cfg.PenaltyN,
+			MaxPenaltyFrac:    p.cfg.MaxPenaltyFrac,
+			ScaleOutLimit:     p.cfg.SLAScaleOutLimit,
+		}
+	case workload.TypeMapReduce:
+		slots := cfg.SlotsPerNode
+		if slots <= 0 {
+			slots = 2
+		}
+		cm.fw = mapreduce.New(p.Eng, mapreduce.Config{
+			Name: cfg.Name, Image: cfg.Name + ".img", SlotsPerNode: slots, Events: events,
+		})
+		cm.ad = &MapReduceAdapter{
+			ConservativeSpeed: p.cfg.ConservativeSpeed,
+			Processing:        sim.Seconds(p.cfg.ProcessingEstimate),
+			VMPrice:           p.cfg.UserVMPrice,
+			PenaltyN:          p.cfg.PenaltyN,
+			MaxPenaltyFrac:    p.cfg.MaxPenaltyFrac,
+			SlotsPerNode:      slots,
+			ScaleOutLimit:     p.cfg.SLAScaleOutLimit,
+		}
+	default:
+		return nil, fmt.Errorf("core: unsupported VC type %q", cfg.Type)
+	}
+	return cm, nil
+}
+
+// Name returns the VC name.
+func (cm *ClusterManager) Name() string { return cm.name }
+
+// Framework exposes the VC's framework (tests and reports).
+func (cm *ClusterManager) Framework() framework.Framework { return cm.fw }
+
+// Image is the VC's slave disk image.
+func (cm *ClusterManager) Image() string { return cm.fw.Image() }
+
+// Avail returns the CM's count of uncommitted VMs.
+func (cm *ClusterManager) Avail() int { return cm.avail }
+
+// peers returns the other Cluster Managers in deterministic order.
+func (cm *ClusterManager) peers() []*ClusterManager {
+	var out []*ClusterManager
+	for _, name := range cm.p.cmOrder {
+		if name != cm.name {
+			out = append(out, cm.p.cms[name])
+		}
+	}
+	return out
+}
+
+// attachPrivate joins a private VM to the framework.
+func (cm *ClusterManager) attachPrivate(id string, speed float64) {
+	cm.nodes[id] = &nodeInfo{rate: cm.p.cfg.PrivateVMCost}
+	cm.avail++
+	cm.OwnedPrivate++
+	cm.fw.AddNode(framework.Node{ID: id, SpeedFactor: speed})
+}
+
+// attachCloud joins a leased cloud instance to the framework.
+func (cm *ClusterManager) attachCloud(inst *cloud.Instance, p *cloud.Provider) {
+	cm.nodes[inst.ID] = &nodeInfo{cloud: true, rate: inst.PriceAtLaunch, provider: p, instID: inst.ID}
+	cm.avail++
+	cm.fw.AddNode(framework.Node{ID: inst.ID, SpeedFactor: inst.SpeedFactor, Cloud: true})
+}
+
+// detachFreeNodes removes up to n idle nodes of the requested kind
+// (cloud or private) from the framework and returns their IDs with the
+// detached bookkeeping info. Callers adjust avail.
+func (cm *ClusterManager) detachFreeNodes(n int, wantCloud bool) ([]string, []*nodeInfo) {
+	var picked []string
+	for _, id := range cm.fw.FreeNodeIDs() {
+		if len(picked) == n {
+			break
+		}
+		if info, ok := cm.nodes[id]; ok && info.cloud == wantCloud {
+			picked = append(picked, id)
+		}
+	}
+	infos := make([]*nodeInfo, 0, len(picked))
+	for _, id := range picked {
+		if err := cm.fw.DisableNode(id); err != nil {
+			panic(fmt.Sprintf("core: disabling free node %s: %v", id, err))
+		}
+		if err := cm.fw.RemoveNode(id); err != nil {
+			panic(fmt.Sprintf("core: removing free node %s: %v", id, err))
+		}
+		info := cm.nodes[id]
+		if !info.cloud {
+			cm.OwnedPrivate--
+		}
+		infos = append(infos, info)
+		delete(cm.nodes, id)
+	}
+	return picked, infos
+}
+
+// freePrivateCount counts idle private nodes (candidates for lending or
+// loan return).
+func (cm *ClusterManager) freePrivateCount() int {
+	count := 0
+	for _, id := range cm.fw.FreeNodeIDs() {
+		if info, ok := cm.nodes[id]; ok && !info.cloud {
+			count++
+		}
+	}
+	return count
+}
+
+// BoostWithCloud leases n cloud VMs and adds them to the VC as
+// uncommitted extra capacity — the scale-out action used by enforcement
+// policies (paper §3.3 leaves SLA-violation handling open). The idle-
+// cloud garbage collector reclaims the VMs once the pressure passes.
+func (cm *ClusterManager) BoostWithCloud(n int) {
+	if n <= 0 {
+		return
+	}
+	p, typeName, _ := cm.cheapestCloud(n, sim.Seconds(cm.p.cfg.ProcessingEstimate))
+	if p == nil {
+		return
+	}
+	cm.p.RM.Lease(p, typeName, cm.Image(), n, func(insts []*cloud.Instance, err error) {
+		if err != nil {
+			cm.p.Counters.CloudFailures.Inc()
+			return
+		}
+		cm.p.Counters.CloudLeases.AddN(int64(n))
+		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.CloudConfigure), func() {
+			for _, inst := range insts {
+				cm.attachCloud(inst, p)
+			}
+			cm.retryPending()
+		})
+	})
+}
+
+// handleSubmission is the entry point after the Client Manager transfer
+// (paper §3.3): negotiate the SLA, then select resources.
+func (cm *ClusterManager) handleSubmission(app workload.App) {
+	st := &appState{app: app, rec: cm.p.Ledger.Get(app.ID)}
+	if err := cm.ad.Validate(app); err != nil {
+		cm.p.Counters.Rejections.Inc()
+		cm.p.appSettled()
+		st.rec.VC = cm.name
+		return
+	}
+	contract, err := sla.Negotiate(app.ID, cm.ad.SLAProvider(app), cm.p.cfg.UserStrategy(app))
+	if err != nil {
+		cm.p.Counters.Rejections.Inc()
+		cm.p.appSettled()
+		st.rec.VC = cm.name
+		return
+	}
+	st.contract = contract
+	st.rec.VC = cm.name
+	st.rec.NumVMs = contract.NumVMs
+	st.rec.Deadline = contract.AbsoluteDeadline(st.rec.SubmitTime)
+	st.rec.Price = contract.Price
+	cm.apps[app.ID] = st
+	// SLA agreement + executable/input upload latency, then selection.
+	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Negotiate), func() {
+		cm.selectResources(st)
+	})
+}
+
+// lat samples a latency distribution into virtual time.
+func (cm *ClusterManager) lat(d interface {
+	Sample(*sim.RNG) float64
+}) sim.Time {
+	return sim.Seconds(d.Sample(cm.p.rng))
+}
+
+// commit reserves n uncommitted VMs for the app and dispatches it.
+// Local placements require avail >= n (their callers checked it in the
+// same event); vc/cloud placements bring their own freshly attached
+// nodes, and avail may legitimately be lower — even negative — when a
+// node crash left commitments outstanding against a shrunken pool.
+func (cm *ClusterManager) commit(st *appState, placement metrics.Placement) {
+	n := st.contract.NumVMs
+	if placement == metrics.PlacementLocal && cm.avail < n {
+		panic(fmt.Sprintf("core: %s committing %d local VMs with avail=%d", cm.name, n, cm.avail))
+	}
+	cm.avail -= n
+	st.rec.Placement = placement
+	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Dispatch), func() {
+		cm.dispatch(st)
+	})
+}
+
+// dispatch translates and submits the job, and spawns the Application
+// Controller (paper §3.3).
+func (cm *ClusterManager) dispatch(st *appState) {
+	st.job = cm.ad.Translate(st.app, st.contract)
+	if err := cm.fw.Submit(st.job); err != nil {
+		panic(fmt.Sprintf("core: framework rejected translated job %s: %v", st.app.ID, err))
+	}
+	st.controller = newAppController(cm, st)
+}
+
+// onJobStart opens a cost/usage segment for the app.
+func (cm *ClusterManager) onJobStart(j *framework.Job) {
+	st := cm.apps[j.ID]
+	if st == nil {
+		return
+	}
+	now := cm.p.Eng.Now()
+	st.segStart = now
+	nodes, err := cm.fw.JobNodes(j.ID)
+	if err != nil {
+		nodes = nil
+	}
+	st.segNodes = nodes
+	st.rec.StartTime = j.StartedAt // framework sets this once, at first start
+	for _, id := range nodes {
+		if info, ok := cm.nodes[id]; ok && info.cloud {
+			cm.p.CloudUsed.Add(now, 1)
+		} else {
+			cm.p.PrivateUsed.Add(now, 1)
+		}
+	}
+}
+
+// closeSegment accrues cost and releases usage gauges for the app's
+// current execution segment.
+func (cm *ClusterManager) closeSegment(st *appState) {
+	now := cm.p.Eng.Now()
+	dur := sim.ToSeconds(now - st.segStart)
+	for _, id := range st.segNodes {
+		info, ok := cm.nodes[id]
+		if !ok {
+			continue
+		}
+		st.rec.Cost += dur * info.rate
+		if info.cloud {
+			cm.p.CloudUsed.Add(now, -1)
+		} else {
+			cm.p.PrivateUsed.Add(now, -1)
+		}
+	}
+	st.segNodes = nil
+}
+
+// onJobSuspend closes the segment of a suspended victim.
+func (cm *ClusterManager) onJobSuspend(j *framework.Job) {
+	st := cm.apps[j.ID]
+	if st == nil {
+		return
+	}
+	st.rec.Suspended = true
+	cm.closeSegment(st)
+}
+
+// onJobRequeue closes the segment of a job that lost its nodes to a
+// crash; the provider still pays for the consumed VM time.
+func (cm *ClusterManager) onJobRequeue(j *framework.Job) {
+	st := cm.apps[j.ID]
+	if st == nil {
+		return
+	}
+	cm.closeSegment(st)
+}
+
+// handleNodeCrash reacts to a private VM crash: detach the node, let the
+// framework requeue affected work, and provision a replacement VM (the
+// crash freed hosting capacity).
+func (cm *ClusterManager) handleNodeCrash(id string) {
+	if err := cm.fw.FailNode(id); err != nil {
+		panic(fmt.Sprintf("core: failing crashed node %s: %v", id, err))
+	}
+	delete(cm.nodes, id)
+	cm.OwnedPrivate--
+	cm.avail-- // attached count dropped; commitments stand
+	cm.p.Counters.NodeCrashes.Inc()
+
+	cm.p.RM.StartPrivate(cm.Image(), 1, func(vms []*vmm.VM, err error) {
+		if err != nil {
+			return // capacity raced away; recover on future finishes
+		}
+		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Configure), func() {
+			for _, vm := range vms {
+				cm.attachPrivate(vm.ID, vm.SpeedFactor)
+			}
+			cm.p.Counters.Replacements.Inc()
+			cm.tryResumeVictims()
+			cm.retryPending()
+		})
+	})
+}
+
+// onJobFinish settles the application: accounting, SLA penalty, loan
+// return, victim resume, pending retries and idle cloud GC.
+func (cm *ClusterManager) onJobFinish(j *framework.Job) {
+	st := cm.apps[j.ID]
+	if st == nil {
+		return
+	}
+	now := cm.p.Eng.Now()
+	cm.closeSegment(st)
+	st.rec.EndTime = now
+	if delay := st.rec.Delay(); delay > 0 {
+		st.rec.Penalty = st.contract.PenaltyFor(delay)
+	}
+	if st.controller != nil {
+		st.controller.stop()
+	}
+	cm.avail += st.contract.NumVMs
+	cm.p.appSettled()
+
+	// Release idle cloud VMs first so they never masquerade as free
+	// private capacity (paper §3.5: stop cloud VMs when done).
+	cm.gcIdleCloud()
+	// Return suspension-backed loans (paper §4.2.2).
+	if st.loan != nil {
+		cm.owedLoan = append(cm.owedLoan, st.loan)
+		st.loan = nil
+	}
+	cm.processLoanReturns()
+	// Resume suspended victims now that capacity freed up.
+	cm.tryResumeVictims()
+	cm.retryPending()
+}
+
+// gcIdleCloud releases every attached cloud node that is idle.
+func (cm *ClusterManager) gcIdleCloud() {
+	for {
+		picked, infos := cm.detachFreeNodes(1, true)
+		if len(picked) == 0 {
+			return
+		}
+		cm.avail--
+		if infos[0].provider != nil {
+			cm.p.RM.Release(infos[0].provider, infos[0].instID)
+		}
+	}
+}
+
+// tryResumeVictims resumes suspended applications FIFO while capacity
+// allows (paper §3.4: the destination VC gives VMs back; the source then
+// resumes its suspended application).
+func (cm *ClusterManager) tryResumeVictims() {
+	for len(cm.victims) > 0 {
+		v := cm.victims[0]
+		vs, ok := cm.apps[v.appID]
+		if !ok || vs.job == nil || vs.job.State != framework.JobSuspended {
+			cm.victims = cm.victims[1:]
+			continue
+		}
+		if cm.avail < v.vms {
+			return
+		}
+		cm.victims = cm.victims[1:]
+		cm.avail -= v.vms
+		if err := cm.fw.Resume(v.appID); err != nil {
+			panic(fmt.Sprintf("core: resuming %s: %v", v.appID, err))
+		}
+		cm.p.Counters.Resumes.Inc()
+	}
+}
+
+// retryPending re-runs resource selection for queued applications until
+// one fails to place.
+func (cm *ClusterManager) retryPending() {
+	for len(cm.pending) > 0 {
+		st := cm.pending[0]
+		cm.pending = cm.pending[1:]
+		before := len(cm.pending)
+		cm.p.Counters.PendingRetries.Inc()
+		cm.selectResources(st)
+		if len(cm.pending) > before {
+			return // it re-queued itself; wait for the next event
+		}
+	}
+}

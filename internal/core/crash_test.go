@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"meryn/internal/sim"
+	"meryn/internal/stats"
+	"meryn/internal/vmm"
+	"meryn/internal/workload"
+)
+
+// crashFirstRunningVM injects a crash into the first running private VM
+// at the given time.
+func crashFirstRunningVM(t *testing.T, p *Platform, at sim.Time) {
+	t.Helper()
+	p.Eng.At(at, func() {
+		vms := p.VMM.List(vmm.StateRunning)
+		if len(vms) == 0 {
+			t.Fatal("no running VM to crash")
+		}
+		if err := p.VMM.Crash(vms[0].ID); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+	})
+}
+
+func TestCrashOfBusyNodeRequeuesAndCompletes(t *testing.T) {
+	cfg := onevcConfig(1)
+	cfg.ConservativeSpeed = 1.0
+	p := newPlatform(t, cfg)
+	crashFirstRunningVM(t, p, sim.Seconds(50))
+	res := run(t, p, workload.Workload{batchApp("a", "vc1", 0, 300)})
+
+	rec := res.Ledger.Get("a")
+	if rec.EndTime == 0 {
+		t.Fatal("app never completed after crash")
+	}
+	if res.Counters.NodeCrashes.Count != 1 {
+		t.Fatalf("crashes = %d", res.Counters.NodeCrashes.Count)
+	}
+	if res.Counters.Replacements.Count != 1 {
+		t.Fatalf("replacements = %d", res.Counters.Replacements.Count)
+	}
+	// The crash loses ~40 s of progress and costs a reboot; the rerun
+	// is a full 300 s, so the end time is far beyond the no-crash 310 s.
+	if end := sim.ToSeconds(rec.EndTime); end < 350 {
+		t.Fatalf("end = %v s, expected post-crash rerun", end)
+	}
+	// Conservation after recovery: one private VM again.
+	cm, _ := p.CM("vc1")
+	if cm.OwnedPrivate != 1 {
+		t.Fatalf("owned = %d, want 1 (replacement attached)", cm.OwnedPrivate)
+	}
+	if p.VMM.Active() != 1 {
+		t.Fatalf("VMM active = %d", p.VMM.Active())
+	}
+}
+
+func TestCrashOfIdleNodeIsHealed(t *testing.T) {
+	cfg := onevcConfig(2)
+	p := newPlatform(t, cfg)
+	crashFirstRunningVM(t, p, sim.Seconds(5))
+	// The single app occupies one VM; crash the other... the injector
+	// crashes the first running VM, which may be the busy one; accept
+	// either path and assert global recovery.
+	res := run(t, p, workload.Workload{batchApp("a", "vc1", 0, 200)})
+	if res.Ledger.Get("a").EndTime == 0 {
+		t.Fatal("app never completed")
+	}
+	cm, _ := p.CM("vc1")
+	if cm.OwnedPrivate != 2 {
+		t.Fatalf("owned = %d, want 2 after replacement", cm.OwnedPrivate)
+	}
+}
+
+func TestCrashDuringPaperScenario(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 4
+	p := newPlatform(t, cfg)
+	// Two crashes mid-run.
+	crashFirstRunningVM(t, p, sim.Seconds(400))
+	crashFirstRunningVM(t, p, sim.Seconds(800))
+	res := run(t, p, workload.Paper(workload.DefaultPaperConfig()))
+
+	for _, rec := range res.Ledger.All() {
+		if rec.EndTime == 0 {
+			t.Fatalf("app %s never completed", rec.ID)
+		}
+	}
+	if res.Counters.NodeCrashes.Count != 2 {
+		t.Fatalf("crashes = %d", res.Counters.NodeCrashes.Count)
+	}
+	// Replacements restore the 50-VM pool.
+	total := 0
+	for _, name := range p.VCNames() {
+		cm, _ := p.CM(name)
+		total += cm.OwnedPrivate
+	}
+	if total != 50 {
+		t.Fatalf("private VMs = %d after crashes, want 50", total)
+	}
+	for _, prov := range p.Clouds {
+		if prov.Active() != 0 {
+			t.Fatalf("leaked %d leases", prov.Active())
+		}
+	}
+}
+
+func TestStochasticCrashInjectionSoak(t *testing.T) {
+	// Exponential crashes with a mean far above the run length: a few
+	// crashes happen, everything still completes and conserves.
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.CrashMTBF = stats.Exponential{MeanV: 5000}
+	p := newPlatform(t, cfg)
+	res := run(t, p, workload.Paper(workload.DefaultPaperConfig()))
+
+	for _, rec := range res.Ledger.All() {
+		if rec.EndTime == 0 {
+			t.Fatalf("app %s never completed (crashes=%d)", rec.ID, res.Counters.NodeCrashes.Count)
+		}
+	}
+	if res.Counters.NodeCrashes.Count == 0 {
+		t.Skip("no crash drawn for this seed; soak inconclusive")
+	}
+	if res.Counters.Replacements.Count == 0 {
+		t.Fatal("crashes occurred but no replacements provisioned")
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"meryn/internal/metrics"
+	"meryn/internal/workload"
+)
+
+// runPaper executes the paper's §5.3 synthetic workload under a policy.
+func runPaper(t *testing.T, policy Policy, seed int64) *Results {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.Seed = seed
+	p := newPlatform(t, cfg)
+	return run(t, p, workload.Paper(workload.DefaultPaperConfig()))
+}
+
+func placements(res *Results, vc string) map[metrics.Placement]int {
+	out := map[metrics.Placement]int{}
+	for _, rec := range res.Ledger.ByVC(vc) {
+		out[rec.Placement]++
+	}
+	return out
+}
+
+// TestPaperScenarioMeryn checks the paper's §5.4 headline observations
+// for Meryn: "VC1 have used 25 private VMs, 10 VC2 VMs and 15 cloud VMs
+// to run its 50 applications", VC2 ran everything on private VMs, the
+// peak cloud usage was 15 VMs, no application was suspended, and every
+// deadline was satisfied.
+func TestPaperScenarioMeryn(t *testing.T) {
+	res := runPaper(t, PolicyMeryn, 1)
+
+	vc1 := placements(res, "vc1")
+	if vc1[metrics.PlacementLocal] != 25 || vc1[metrics.PlacementVC] != 10 || vc1[metrics.PlacementCloud] != 15 {
+		t.Fatalf("VC1 placements = %v, want local:25 vc:10 cloud:15", vc1)
+	}
+	vc2 := placements(res, "vc2")
+	if vc2[metrics.PlacementLocal] != 15 {
+		t.Fatalf("VC2 placements = %v, want local:15", vc2)
+	}
+	if peak := int(res.CloudSeries.Max()); peak != 15 {
+		t.Fatalf("peak cloud VMs = %d, want 15", peak)
+	}
+	if peak := int(res.PrivateSeries.Max()); peak != 50 {
+		t.Fatalf("peak private VMs = %d, want 50", peak)
+	}
+	if res.Counters.Suspensions.Count != 0 {
+		t.Fatalf("suspensions = %d, want 0 (suspension dearer than cloud here)", res.Counters.Suspensions.Count)
+	}
+	agg := metrics.AggregateRecords(res.Ledger.All())
+	if agg.DeadlinesMissed != 0 {
+		t.Fatalf("deadlines missed = %d, want 0", agg.DeadlinesMissed)
+	}
+	if agg.N != 65 {
+		t.Fatalf("completed apps = %d, want 65", agg.N)
+	}
+	if res.Counters.VMTransfers.Count != 10 {
+		t.Fatalf("VM transfers = %d, want 10", res.Counters.VMTransfers.Count)
+	}
+	if res.Counters.CloudLeases.Count != 15 {
+		t.Fatalf("cloud leases = %d, want 15", res.Counters.CloudLeases.Count)
+	}
+	// Paper: workload completion ~2021 s. Ours should land in the same
+	// regime (last cloud app: 245 + proc + 1670).
+	if res.CompletionTime < 1900 || res.CompletionTime > 2100 {
+		t.Fatalf("completion = %v s, want ~2000", res.CompletionTime)
+	}
+}
+
+// TestPaperScenarioStatic checks the baseline: "VC1 have used 25 private
+// VMs and 25 cloud VMs ... while VC2 have used 15 private VMs and its
+// remaining 10 private VMs were left unused", peak cloud 25.
+func TestPaperScenarioStatic(t *testing.T) {
+	res := runPaper(t, PolicyStatic, 1)
+
+	vc1 := placements(res, "vc1")
+	if vc1[metrics.PlacementLocal] != 25 || vc1[metrics.PlacementCloud] != 25 {
+		t.Fatalf("VC1 placements = %v, want local:25 cloud:25", vc1)
+	}
+	if vc1[metrics.PlacementVC] != 0 {
+		t.Fatal("static approach must not exchange VMs")
+	}
+	vc2 := placements(res, "vc2")
+	if vc2[metrics.PlacementLocal] != 15 {
+		t.Fatalf("VC2 placements = %v, want local:15", vc2)
+	}
+	if peak := int(res.CloudSeries.Max()); peak != 25 {
+		t.Fatalf("peak cloud VMs = %d, want 25", peak)
+	}
+	// Private peak: 25 (VC1) + 15 (VC2) = 40; VC2's other 10 idle.
+	if peak := int(res.PrivateSeries.Max()); peak != 40 {
+		t.Fatalf("peak private VMs = %d, want 40", peak)
+	}
+	agg := metrics.AggregateRecords(res.Ledger.All())
+	if agg.DeadlinesMissed != 0 {
+		t.Fatalf("deadlines missed = %d, want 0", agg.DeadlinesMissed)
+	}
+}
+
+// TestPaperCostAndTimeOrdering checks Figure 6's comparisons: Meryn's
+// workload cost is ~14% lower (paper: 14.07%), VC1's average cost ~17%
+// lower (paper: 16.72%), VC2 unchanged, average execution times better
+// or equal, and completion times near-identical.
+func TestPaperCostAndTimeOrdering(t *testing.T) {
+	meryn := runPaper(t, PolicyMeryn, 1)
+	static := runPaper(t, PolicyStatic, 1)
+
+	mAll := metrics.AggregateRecords(meryn.Ledger.All())
+	sAll := metrics.AggregateRecords(static.Ledger.All())
+
+	if mAll.TotalCost >= sAll.TotalCost {
+		t.Fatalf("Meryn total cost %v >= static %v", mAll.TotalCost, sAll.TotalCost)
+	}
+	saving := (sAll.TotalCost - mAll.TotalCost) / sAll.TotalCost
+	if saving < 0.08 || saving > 0.20 {
+		t.Fatalf("cost saving = %.1f%%, want ~14%% (paper 14.07%%)", saving*100)
+	}
+
+	mVC1 := metrics.AggregateRecords(meryn.Ledger.ByVC("vc1"))
+	sVC1 := metrics.AggregateRecords(static.Ledger.ByVC("vc1"))
+	vc1Saving := (sVC1.MeanCost - mVC1.MeanCost) / sVC1.MeanCost
+	if vc1Saving < 0.10 || vc1Saving > 0.25 {
+		t.Fatalf("VC1 cost saving = %.1f%%, want ~17%% (paper 16.72%%)", vc1Saving*100)
+	}
+
+	// VC2 runs identically under both systems (all local).
+	mVC2 := metrics.AggregateRecords(meryn.Ledger.ByVC("vc2"))
+	sVC2 := metrics.AggregateRecords(static.Ledger.ByVC("vc2"))
+	if diff := mVC2.MeanCost - sVC2.MeanCost; diff < -20 || diff > 20 {
+		t.Fatalf("VC2 cost differs: %v vs %v", mVC2.MeanCost, sVC2.MeanCost)
+	}
+
+	// Average execution time: Meryn <= static (fewer slow cloud runs).
+	if mVC1.MeanExecTime >= sVC1.MeanExecTime {
+		t.Fatalf("Meryn VC1 exec %v >= static %v", mVC1.MeanExecTime, sVC1.MeanExecTime)
+	}
+	if mAll.MeanExecTime >= sAll.MeanExecTime {
+		t.Fatalf("Meryn mean exec %v >= static %v", mAll.MeanExecTime, sAll.MeanExecTime)
+	}
+
+	// Completion: "almost the same" (paper: 2021 vs 2091, 3.3%).
+	reldiff := (static.CompletionTime - meryn.CompletionTime) / static.CompletionTime
+	if reldiff < -0.05 || reldiff > 0.10 {
+		t.Fatalf("completion: meryn %v vs static %v", meryn.CompletionTime, static.CompletionTime)
+	}
+
+	// Revenues are equal (all deadlines met), so the provider profit
+	// gap equals the cost gap (paper §5.5).
+	if mAll.TotalRevenue != sAll.TotalRevenue {
+		t.Fatalf("revenues differ: %v vs %v", mAll.TotalRevenue, sAll.TotalRevenue)
+	}
+	if mAll.TotalProfit <= sAll.TotalProfit {
+		t.Fatal("Meryn profit not higher than static")
+	}
+}
+
+// TestPaperScenarioInvariants runs the scenario under both policies and
+// checks conservation invariants: private VMs neither created nor lost,
+// no cloud lease leaked, ledger complete.
+func TestPaperScenarioInvariants(t *testing.T) {
+	for _, policy := range []Policy{PolicyMeryn, PolicyStatic} {
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		cfg.Seed = 42
+		p := newPlatform(t, cfg)
+		res := run(t, p, workload.Paper(workload.DefaultPaperConfig()))
+
+		totalPrivate := 0
+		for _, name := range p.VCNames() {
+			cm, _ := p.CM(name)
+			totalPrivate += cm.OwnedPrivate
+		}
+		if totalPrivate != 50 {
+			t.Fatalf("[%v] private VMs owned = %d, want 50 (conservation)", policy, totalPrivate)
+		}
+		if p.VMM.Active() != 50 {
+			t.Fatalf("[%v] VMM active = %d, want 50", policy, p.VMM.Active())
+		}
+		for _, prov := range p.Clouds {
+			if prov.Active() != 0 {
+				t.Fatalf("[%v] provider %s leaked %d leases", policy, prov.Name(), prov.Active())
+			}
+		}
+		if len(res.Ledger.All()) != 65 {
+			t.Fatalf("[%v] ledger has %d records", policy, len(res.Ledger.All()))
+		}
+		for _, rec := range res.Ledger.All() {
+			if rec.EndTime == 0 {
+				t.Fatalf("[%v] app %s never finished", policy, rec.ID)
+			}
+			if rec.Cost <= 0 {
+				t.Fatalf("[%v] app %s has no cost", policy, rec.ID)
+			}
+		}
+		// Usage gauges must return to zero.
+		if res.PrivateSeries.Points()[len(res.PrivateSeries.Points())-1].Value != 0 {
+			t.Fatalf("[%v] private gauge nonzero at end", policy)
+		}
+		if res.CloudSeries.Len() > 0 && res.CloudSeries.Points()[len(res.CloudSeries.Points())-1].Value != 0 {
+			t.Fatalf("[%v] cloud gauge nonzero at end", policy)
+		}
+	}
+}
+
+// TestPaperScenarioSeedRobust: the placement split is a structural
+// property, not a lucky seed.
+func TestPaperScenarioSeedRobust(t *testing.T) {
+	for _, seed := range []int64{2, 3, 7, 99} {
+		res := runPaper(t, PolicyMeryn, seed)
+		vc1 := placements(res, "vc1")
+		if vc1[metrics.PlacementLocal] != 25 || vc1[metrics.PlacementVC] != 10 || vc1[metrics.PlacementCloud] != 15 {
+			t.Fatalf("seed %d: VC1 placements = %v", seed, vc1)
+		}
+		if res.Counters.Suspensions.Count != 0 {
+			t.Fatalf("seed %d: suspensions = %d", seed, res.Counters.Suspensions.Count)
+		}
+	}
+}

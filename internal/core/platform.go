@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"meryn/internal/cloud"
+	"meryn/internal/cluster"
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+	"meryn/internal/vmm"
+	"meryn/internal/workload"
+)
+
+// Counters aggregates protocol activity over a run.
+type Counters struct {
+	BidRounds      metrics.Counter
+	VMTransfers    metrics.Counter // private VMs moved between VCs
+	CloudLeases    metrics.Counter
+	CloudFailures  metrics.Counter
+	Suspensions    metrics.Counter
+	Resumes        metrics.Counter
+	LoanReturns    metrics.Counter
+	PendingRetries metrics.Counter
+	Rejections     metrics.Counter
+	Violations     metrics.Counter // SLA violations observed by App Controllers
+	Projected      metrics.Counter // projected (early-warning) violations
+	NodeCrashes    metrics.Counter // private VM crashes observed by CMs
+	Replacements   metrics.Counter // replacement VMs provisioned after crashes
+}
+
+// Platform is one assembled Meryn deployment: engine, substrates,
+// managers and metrics. Build it with NewPlatform, drive it with Run.
+type Platform struct {
+	Eng    *sim.Engine
+	cfg    Config
+	VMM    *vmm.Manager
+	Clouds []*cloud.Provider
+	RM     *ResourceManager
+	Client *ClientManager
+
+	cms        map[string]*ClusterManager
+	cmOrder    []string
+	cloudTypes map[string][]string // provider name -> instance type names
+
+	// Hierarchy is the optional Snooze-like management plane
+	// (nil unless Config.Hierarchy was set).
+	Hierarchy *vmm.Hierarchy
+
+	Ledger      *metrics.Ledger
+	PrivateUsed *metrics.Gauge // private VMs executing applications
+	CloudUsed   *metrics.Gauge // cloud VMs executing applications
+	Counters    Counters
+
+	remaining int // unsettled applications in the current Run
+	rng       *sim.RNG
+}
+
+// appSettled marks one application as finished or rejected; Run stops
+// stepping once every submitted application settles.
+func (p *Platform) appSettled() {
+	if p.remaining > 0 {
+		p.remaining--
+	}
+}
+
+// handleCrash routes a crashed private VM to the Cluster Manager that
+// owns it. VMs crashing mid-transfer (owned by no CM) need no handling:
+// the transfer protocol's completions deal with them.
+func (p *Platform) handleCrash(vm *vmm.VM) {
+	for _, name := range p.cmOrder {
+		cm := p.cms[name]
+		if _, ok := cm.nodes[vm.ID]; ok {
+			cm.handleNodeCrash(vm.ID)
+			return
+		}
+	}
+}
+
+// NewPlatform validates the config, builds every component and performs
+// the initial deployment (VM images registered everywhere, initial VMs
+// started and attached to their frameworks).
+func NewPlatform(cfg Config) (*Platform, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	p := &Platform{
+		Eng:         eng,
+		cfg:         cfg,
+		cms:         make(map[string]*ClusterManager),
+		cloudTypes:  make(map[string][]string),
+		Ledger:      metrics.NewLedger(),
+		PrivateUsed: metrics.NewGauge("private-used"),
+		CloudUsed:   metrics.NewGauge("cloud-used"),
+		rng:         sim.NewRNG(cfg.Seed, "core/platform"),
+	}
+
+	site := cluster.New(cfg.Site)
+	m, err := vmm.New(eng, vmm.Config{
+		Site:      site,
+		Shape:     cfg.Shape,
+		MaxVMs:    cfg.PrivateVMCap,
+		Latencies: cfg.VMM,
+		Seed:      cfg.Seed,
+		CrashMTBF: cfg.CrashMTBF,
+		OnCrash:   p.handleCrash,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.VMM = m
+
+	total := 0
+	for _, vcCfg := range cfg.VCs {
+		total += vcCfg.InitialVMs
+	}
+	if total > m.Capacity() {
+		return nil, fmt.Errorf("core: initial VM allocation %d exceeds private capacity %d", total, m.Capacity())
+	}
+
+	for i := range cfg.Clouds {
+		cc := cfg.Clouds[i]
+		if cc.Seed == 0 {
+			cc.Seed = cfg.Seed
+		}
+		prov, err := cloud.New(eng, cc)
+		if err != nil {
+			return nil, err
+		}
+		p.Clouds = append(p.Clouds, prov)
+		var names []string
+		for _, it := range cc.Types {
+			names = append(names, it.Name)
+		}
+		sort.Strings(names)
+		p.cloudTypes[prov.Name()] = names
+	}
+	p.RM = NewResourceManager(eng, m, p.Clouds)
+
+	if cfg.Hierarchy != nil {
+		var nodeIDs []string
+		for _, n := range site.Nodes() {
+			nodeIDs = append(nodeIDs, n.ID)
+		}
+		p.Hierarchy = vmm.NewHierarchy(eng, nodeIDs, *cfg.Hierarchy)
+		p.Hierarchy.Start()
+	}
+
+	for _, vcCfg := range cfg.VCs {
+		cm, err := newClusterManager(p, vcCfg)
+		if err != nil {
+			return nil, err
+		}
+		p.cms[vcCfg.Name] = cm
+		p.cmOrder = append(p.cmOrder, vcCfg.Name)
+		// Save the framework image in the VMM and every cloud (§3.5).
+		m.RegisterImage(cm.Image())
+		for _, prov := range p.Clouds {
+			prov.RegisterImage(cm.Image())
+		}
+	}
+	p.Client = NewClientManager(p)
+
+	// Initial deployment (§3.2, Resource Manager duty).
+	for _, name := range p.cmOrder {
+		cm := p.cms[name]
+		for i := 0; i < cm.cfg.InitialVMs; i++ {
+			vm, err := p.RM.DeployVM(cm.Image())
+			if err != nil {
+				return nil, fmt.Errorf("core: deploying VC %s: %w", name, err)
+			}
+			cm.attachPrivate(vm.ID, vm.SpeedFactor)
+		}
+	}
+	return p, nil
+}
+
+// Config returns the normalized configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// CM returns a Cluster Manager by VC name.
+func (p *Platform) CM(name string) (*ClusterManager, bool) {
+	cm, ok := p.cms[name]
+	return cm, ok
+}
+
+// VCNames returns VC names in configuration order.
+func (p *Platform) VCNames() []string { return p.cmOrder }
+
+// Results summarizes one run.
+type Results struct {
+	Policy         Policy
+	Ledger         *metrics.Ledger
+	PrivateSeries  *metrics.Series
+	CloudSeries    *metrics.Series
+	Counters       Counters
+	CompletionTime float64 // seconds: last application end
+	CloudSpend     float64 // total provider-side cloud charges
+	EventsFired    uint64
+}
+
+// settleGrace is how long Run keeps simulating after the last
+// application settles, so that in-flight VM transfers, loan returns and
+// cloud lease terminations complete. It only matters when self-renewing
+// events (crash injection) keep the queue from draining naturally.
+const settleGrace = sim.Time(300 * 1e9)
+
+// Run schedules the workload's submissions and drives the simulation
+// until every application has settled (finished or been rejected),
+// returning the run summary.
+func (p *Platform) Run(w workload.Workload) (*Results, error) {
+	for _, app := range w {
+		if app.VC == "" {
+			continue // routed by application type at submission
+		}
+		if _, ok := p.cms[app.VC]; !ok {
+			return nil, fmt.Errorf("core: app %s targets unknown VC %q", app.ID, app.VC)
+		}
+	}
+	p.remaining = len(w)
+	for i := range w {
+		app := w[i]
+		p.Eng.At(app.SubmitAt, func() { p.Client.Submit(app) })
+	}
+	for p.remaining > 0 && p.Eng.Step() {
+	}
+	// Drain follow-up work (transfers, releases, resumes) bounded by the
+	// grace window; without crash injection the queue simply empties.
+	p.Eng.Run(p.Eng.Now() + settleGrace)
+
+	res := &Results{
+		Policy:        p.cfg.Policy,
+		Ledger:        p.Ledger,
+		PrivateSeries: p.PrivateUsed.Series(),
+		CloudSeries:   p.CloudUsed.Series(),
+		Counters:      p.Counters,
+		EventsFired:   p.Eng.Fired(),
+	}
+	for _, rec := range p.Ledger.All() {
+		if end := sim.ToSeconds(rec.EndTime); end > res.CompletionTime {
+			res.CompletionTime = end
+		}
+	}
+	for _, prov := range p.Clouds {
+		res.CloudSpend += prov.TotalSpend
+	}
+	return res, nil
+}

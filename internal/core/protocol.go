@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"meryn/internal/cloud"
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+	"meryn/internal/vmm"
+)
+
+// Bid is a Cluster Manager's answer to a bid computation request.
+type Bid struct {
+	OK       bool    // the VC can provide the VMs
+	Cost     float64 // estimated revenue loss (0 = free VMs available)
+	VictimID string  // application to suspend when Cost > 0
+}
+
+// selectResources implements paper Algorithm 1. The five options:
+//
+//  1. enough free local VMs        -> run on local-vms
+//  2. a peer VC bids zero          -> run on vc-vms (free transfer)
+//  3. the local bid is lowest      -> suspend a local app, run on local-vms
+//  4. a peer VC's bid is lowest    -> suspend there, borrow, run on vc-vms
+//  5. the cloud price is lowest    -> lease cloud-vms
+//
+// PolicyStatic short-circuits to option 1 else option 5, which is the
+// paper's baseline.
+func (cm *ClusterManager) selectResources(st *appState) {
+	n := st.contract.NumVMs
+	if cm.avail >= n {
+		cm.commit(st, metrics.PlacementLocal)
+		return
+	}
+	if cm.p.cfg.Policy == PolicyStatic {
+		cm.burstToCloud(st)
+		return
+	}
+	// Invite all the other Cluster Managers to propose a bid, compute
+	// the local bid and query cloud prices; one bid-round latency covers
+	// the message exchange.
+	cm.p.Counters.BidRounds.Inc()
+	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.BidRound), func() {
+		cm.decideWithBids(st)
+	})
+}
+
+// decideWithBids gathers bids and acts on the cheapest option.
+func (cm *ClusterManager) decideWithBids(st *appState) {
+	n := st.contract.NumVMs
+	duration := st.contract.ExecEst
+
+	// Local capacity may have freed up during the bid round.
+	if cm.avail >= n {
+		cm.commit(st, metrics.PlacementLocal)
+		return
+	}
+
+	// Option 2: any peer with free VMs bids zero.
+	var (
+		bestPeer    *ClusterManager
+		bestPeerBid = Bid{Cost: math.Inf(1)}
+	)
+	for _, peer := range cm.peers() {
+		bid := peer.ComputeBid(n, duration)
+		if !bid.OK {
+			continue
+		}
+		if bid.Cost == 0 {
+			cm.acquireFromVC(peer, st, "")
+			return
+		}
+		if bid.Cost < bestPeerBid.Cost {
+			bestPeer, bestPeerBid = peer, bid
+		}
+	}
+
+	localBid := cm.localBid(n, duration)
+	cloudProvider, cloudType, cloudBid := cm.cheapestCloud(n, duration)
+
+	// Tie-break order mirrors the paper's comparison order: local, then
+	// VC, then cloud.
+	switch {
+	case localBid.OK && localBid.Cost <= bestPeerBid.Cost && localBid.Cost <= cloudBid:
+		cm.suspendLocalAndRun(st, localBid.VictimID)
+	case bestPeer != nil && bestPeerBid.Cost <= cloudBid:
+		cm.acquireFromVC(bestPeer, st, bestPeerBid.VictimID)
+	case cloudProvider != nil:
+		cm.burstToCloudVia(st, cloudProvider, cloudType)
+	default:
+		// No option can host the application now; queue and retry on
+		// the next capacity change.
+		cm.pending = append(cm.pending, st)
+	}
+}
+
+// ComputeBid implements paper Algorithm 2 generalized over frameworks:
+// zero when free VMs exist, otherwise the smallest estimated suspension
+// cost over running applications holding at least n VMs.
+func (cm *ClusterManager) ComputeBid(n int, duration sim.Time) Bid {
+	if cm.avail >= n {
+		return Bid{OK: true, Cost: 0}
+	}
+	if cm.p.cfg.DisableSuspension {
+		return Bid{}
+	}
+	return cm.suspensionBid(n, duration)
+}
+
+// localBid is the requesting CM's own bid (option 3); free local VMs
+// were already ruled out, so only suspension remains.
+func (cm *ClusterManager) localBid(n int, duration sim.Time) Bid {
+	if cm.p.cfg.DisableSuspension {
+		return Bid{}
+	}
+	return cm.suspensionBid(n, duration)
+}
+
+// suspensionBid evaluates the suspension cost of every candidate victim:
+// applications running on at least n VMs. Per Algorithm 2:
+//
+//	spent_t    = now - submit_t
+//	progress_t = now - start_t
+//	finish_t   = exec_est - progress_t
+//	free_t     = deadline - (spent_t + finish_t)
+//	cost       = min_suspension_cost [+ delay_penalty(duration - free_t)]
+func (cm *ClusterManager) suspensionBid(n int, duration sim.Time) Bid {
+	now := cm.p.Eng.Now()
+	best := Bid{Cost: math.Inf(1)}
+	for _, job := range cm.fw.Running() {
+		st, ok := cm.apps[job.ID]
+		if !ok || st.contract.NumVMs < n {
+			continue
+		}
+		spent := now - st.rec.SubmitTime
+		progress := now - job.StartedAt
+		finish := st.contract.ExecEst - progress
+		if finish < 0 {
+			finish = 0
+		}
+		free := st.contract.Deadline - (spent + finish)
+		cost := cm.p.cfg.MinSuspensionCost
+		if free <= duration {
+			cost += st.contract.PenaltyFor(duration - free)
+		}
+		if cost < best.Cost {
+			best = Bid{OK: true, Cost: cost, VictimID: job.ID}
+		}
+	}
+	if !best.OK {
+		return Bid{}
+	}
+	return best
+}
+
+// cheapestCloud returns the provider/type minimizing the lease cost of n
+// VMs for the duration (Algorithm 1's "cheapest cloud VM price").
+func (cm *ClusterManager) cheapestCloud(n int, duration sim.Time) (*cloud.Provider, string, float64) {
+	var (
+		bestP    *cloud.Provider
+		bestType string
+		bestCost = math.Inf(1)
+	)
+	for _, p := range cm.p.RM.Clouds() {
+		for _, typeName := range cm.p.cloudTypes[p.Name()] {
+			c, err := p.CostIfRunFor(typeName, duration)
+			if err != nil {
+				continue
+			}
+			total := c * float64(n)
+			if total < bestCost {
+				bestP, bestType, bestCost = p, typeName, total
+			}
+		}
+	}
+	return bestP, bestType, bestCost
+}
+
+// suspendLocalAndRun implements option 3: suspend a local victim and run
+// the new application on the freed VMs.
+func (cm *ClusterManager) suspendLocalAndRun(st *appState, victimID string) {
+	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.SuspendLocal), func() {
+		if !cm.suspendVictim(cm, victimID) || cm.avail < st.contract.NumVMs {
+			// The victim vanished (finished or already suspended by a
+			// concurrent decision); re-run the protocol.
+			cm.selectResources(st)
+			return
+		}
+		cm.commit(st, metrics.PlacementLocal)
+	})
+}
+
+// suspendVictim suspends an application on the owner CM and updates the
+// owner's bookkeeping: the freed VMs become available and the victim
+// joins the owner's resume queue. It reports false when the victim is no
+// longer running (e.g. it finished, or a concurrent decision already
+// suspended it).
+func (cm *ClusterManager) suspendVictim(owner *ClusterManager, victimID string) bool {
+	vs, ok := owner.apps[victimID]
+	if !ok || vs.job == nil {
+		return false
+	}
+	if err := owner.fw.Suspend(victimID); err != nil {
+		return false
+	}
+	owner.avail += vs.contract.NumVMs
+	owner.victims = append(owner.victims, victim{appID: victimID, vms: vs.contract.NumVMs})
+	cm.p.Counters.Suspensions.Inc()
+	return true
+}
+
+// acquireFromVC implements options 2 and 4 (paper §3.4): the source CM
+// removes VMs from its framework and shuts them down; the destination CM
+// starts fresh VMs with its own image, configures them and adds them to
+// its framework.
+func (cm *ClusterManager) acquireFromVC(peer *ClusterManager, st *appState, victimID string) {
+	n := st.contract.NumVMs
+	proceed := func() {
+		if peer.avail < n || peer.freePrivateCount() < n {
+			// State changed under us; start over.
+			cm.selectResources(st)
+			return
+		}
+		peer.avail -= n
+		ids, _ := peer.detachFreeNodes(n, false)
+		if len(ids) != n {
+			panic(fmt.Sprintf("core: %s promised %d free private VMs, found %d", peer.name, n, len(ids)))
+		}
+		var ln *loan
+		if victimID != "" {
+			ln = &loan{lender: peer, borrower: cm, n: n, victimID: victimID}
+		}
+		cm.p.RM.StopPrivate(ids, func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("core: stopping transferred VMs: %v", err))
+			}
+			// "The Cluster Manager of the source VC informs the Cluster
+			// Manager of the destination VC that the VMs are available."
+			cm.receiveTransferredVMs(st, n, ln)
+		})
+	}
+	if victimID == "" {
+		proceed()
+		return
+	}
+	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.SuspendRemote), func() {
+		if !cm.suspendVictim(peer, victimID) {
+			cm.selectResources(st)
+			return
+		}
+		proceed()
+	})
+}
+
+// receiveTransferredVMs starts replacement VMs with the destination
+// image, configures them, attaches them and dispatches the application.
+func (cm *ClusterManager) receiveTransferredVMs(st *appState, n int, ln *loan) {
+	cm.p.RM.StartPrivate(cm.Image(), n, func(vms []*vmm.VM, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("core: starting transferred VMs for %s: %v", cm.name, err))
+		}
+		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Configure), func() {
+			for _, vm := range vms {
+				cm.attachPrivate(vm.ID, vm.SpeedFactor)
+			}
+			cm.p.Counters.VMTransfers.AddN(int64(n))
+			st.loan = ln
+			cm.commit(st, metrics.PlacementVC)
+		})
+	})
+}
+
+// burstToCloud leases from the cheapest provider (option 5 / the static
+// baseline's only elasticity).
+func (cm *ClusterManager) burstToCloud(st *appState) {
+	p, typeName, _ := cm.cheapestCloud(st.contract.NumVMs, st.contract.ExecEst)
+	if p == nil {
+		cm.pending = append(cm.pending, st)
+		return
+	}
+	cm.burstToCloudVia(st, p, typeName)
+}
+
+// burstToCloudVia leases n instances from a specific provider, with
+// fallback to the remaining providers on failure (paper §3.5).
+func (cm *ClusterManager) burstToCloudVia(st *appState, p *cloud.Provider, typeName string) {
+	n := st.contract.NumVMs
+	cm.p.RM.Lease(p, typeName, cm.Image(), n, func(insts []*cloud.Instance, err error) {
+		if err != nil {
+			cm.p.Counters.CloudFailures.Inc()
+			if next, nextType := cm.nextProvider(p, n, st.contract.ExecEst); next != nil {
+				cm.burstToCloudVia(st, next, nextType)
+				return
+			}
+			// All providers failed; retry the whole protocol shortly.
+			cm.p.Eng.Schedule(sim.Seconds(5), func() { cm.selectResources(st) })
+			return
+		}
+		cm.p.Counters.CloudLeases.AddN(int64(n))
+		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.CloudConfigure), func() {
+			for _, inst := range insts {
+				cm.attachCloud(inst, p)
+			}
+			cm.commit(st, metrics.PlacementCloud)
+		})
+	})
+}
+
+// nextProvider returns the cheapest provider other than the one that
+// just failed.
+func (cm *ClusterManager) nextProvider(failed *cloud.Provider, n int, duration sim.Time) (*cloud.Provider, string) {
+	var (
+		bestP    *cloud.Provider
+		bestType string
+		bestCost = math.Inf(1)
+	)
+	for _, p := range cm.p.RM.Clouds() {
+		if p == failed {
+			continue
+		}
+		for _, typeName := range cm.p.cloudTypes[p.Name()] {
+			c, err := p.CostIfRunFor(typeName, duration)
+			if err != nil {
+				continue
+			}
+			if total := c * float64(n); total < bestCost {
+				bestP, bestType, bestCost = p, typeName, total
+			}
+		}
+	}
+	return bestP, bestType
+}
+
+// processLoanReturns transfers borrowed VM counts back to lenders when
+// idle private VMs are available, deferring otherwise.
+func (cm *ClusterManager) processLoanReturns() {
+	var remaining []*loan
+	for _, ln := range cm.owedLoan {
+		if cm.avail < ln.n || cm.freePrivateCount() < ln.n {
+			remaining = append(remaining, ln)
+			continue
+		}
+		cm.avail -= ln.n
+		ids, _ := cm.detachFreeNodes(ln.n, false)
+		lender := ln.lender
+		count := ln.n
+		cm.p.RM.StopPrivate(ids, func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("core: stopping returned VMs: %v", err))
+			}
+			cm.p.RM.StartPrivate(lender.Image(), count, func(vms []*vmm.VM, err error) {
+				if err != nil {
+					panic(fmt.Sprintf("core: restarting returned VMs: %v", err))
+				}
+				cm.p.Eng.Schedule(lender.lat(cm.p.cfg.Latencies.Configure), func() {
+					for _, vm := range vms {
+						lender.attachPrivate(vm.ID, vm.SpeedFactor)
+					}
+					cm.p.Counters.LoanReturns.Inc()
+					lender.tryResumeVictims()
+					lender.retryPending()
+				})
+			})
+		})
+	}
+	cm.owedLoan = remaining
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"meryn/internal/cloud"
+	"meryn/internal/sim"
+	"meryn/internal/vmm"
+)
+
+// ResourceManager is the component that talks to the VM management
+// system and the public clouds (paper §3.2: "responsible for the initial
+// system deployment and for transferring VMs from one VC to another").
+// Cluster Managers never call the substrates directly.
+type ResourceManager struct {
+	eng    *sim.Engine
+	vmm    *vmm.Manager
+	clouds []*cloud.Provider
+}
+
+// NewResourceManager wires the RM to its substrates.
+func NewResourceManager(eng *sim.Engine, m *vmm.Manager, clouds []*cloud.Provider) *ResourceManager {
+	return &ResourceManager{eng: eng, vmm: m, clouds: clouds}
+}
+
+// Clouds lists the available providers in configuration order.
+func (rm *ResourceManager) Clouds() []*cloud.Provider { return rm.clouds }
+
+// VMM exposes the private VM manager (read-mostly: capacity queries).
+func (rm *ResourceManager) VMM() *vmm.Manager { return rm.vmm }
+
+// DeployVM creates one running private VM during initial deployment.
+func (rm *ResourceManager) DeployVM(image string) (*vmm.VM, error) {
+	return rm.vmm.StartDeployed(image)
+}
+
+// StopPrivate shuts down the given private VMs in parallel and calls
+// done once all have terminated. Individual errors abort the batch with
+// the first error (the VMs are in CM bookkeeping; failures there are
+// invariant violations).
+func (rm *ResourceManager) StopPrivate(ids []string, done func(error)) {
+	if len(ids) == 0 {
+		done(nil)
+		return
+	}
+	remaining := len(ids)
+	var failed error
+	for _, id := range ids {
+		rm.vmm.Stop(id, func(err error) {
+			if err != nil && failed == nil {
+				failed = fmt.Errorf("core: stopping VM: %w", err)
+			}
+			remaining--
+			if remaining == 0 {
+				done(failed)
+			}
+		})
+	}
+}
+
+// StartPrivate boots n private VMs with the given image in parallel and
+// calls done with the running VMs, or the first error after cleaning up
+// any successes.
+func (rm *ResourceManager) StartPrivate(image string, n int, done func([]*vmm.VM, error)) {
+	if n <= 0 {
+		done(nil, nil)
+		return
+	}
+	var (
+		vms       []*vmm.VM
+		remaining = n
+		failed    error
+	)
+	finish := func() {
+		if failed != nil {
+			for _, vm := range vms {
+				rm.vmm.Stop(vm.ID, func(error) {})
+			}
+			done(nil, failed)
+			return
+		}
+		done(vms, nil)
+	}
+	for i := 0; i < n; i++ {
+		rm.vmm.Start(image, func(vm *vmm.VM, err error) {
+			if err != nil && failed == nil {
+				failed = fmt.Errorf("core: starting VM: %w", err)
+			}
+			if err == nil {
+				vms = append(vms, vm)
+			}
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// Lease acquires n instances of typeName from the provider in parallel.
+// On any failure it terminates the successful leases and reports the
+// first error.
+func (rm *ResourceManager) Lease(p *cloud.Provider, typeName, image string, n int, done func([]*cloud.Instance, error)) {
+	if n <= 0 {
+		done(nil, nil)
+		return
+	}
+	var (
+		leases    []*cloud.Instance
+		remaining = n
+		failed    error
+	)
+	finish := func() {
+		if failed != nil {
+			for _, inst := range leases {
+				p.Terminate(inst.ID, func(float64, error) {})
+			}
+			done(nil, failed)
+			return
+		}
+		done(leases, nil)
+	}
+	for i := 0; i < n; i++ {
+		p.Launch(typeName, image, func(inst *cloud.Instance, err error) {
+			if err != nil && failed == nil {
+				failed = err
+			}
+			if err == nil {
+				leases = append(leases, inst)
+			}
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// Release terminates a cloud lease; the charge lands on the provider's
+// TotalSpend.
+func (rm *ResourceManager) Release(p *cloud.Provider, id string) {
+	p.Terminate(id, func(float64, error) {})
+}

@@ -1,0 +1,374 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"meryn/internal/cloud"
+	"meryn/internal/core"
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+	"meryn/internal/workload"
+)
+
+// --- A1: penalty divisor N (Eq. 3) ----------------------------------------
+
+// PenaltyNPoint is one sweep point of ablation A1.
+type PenaltyNPoint struct {
+	N            float64
+	TotalPenalty float64
+	Revenue      float64
+	Missed       int
+}
+
+// PenaltyNResult sweeps Eq. 3's divisor on a deadline-missing workload:
+// high N favours the provider (small refunds), low N the user.
+type PenaltyNResult struct {
+	Points []PenaltyNPoint
+}
+
+// AblationPenaltyN runs the paper workload on a site 10% slower than the
+// SLA estimate assumes, so every application is late, and sweeps N.
+func AblationPenaltyN(seed int64) (*PenaltyNResult, error) {
+	ns := []float64{1, 2, 4, 8}
+	res := &PenaltyNResult{Points: make([]PenaltyNPoint, len(ns))}
+	var mu sync.Mutex
+	var firstErr error
+	Parallel(len(ns), 0, func(i int) {
+		n := ns[i]
+		r, err := Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
+			cfg.PenaltyN = n
+			cfg.Site.SpeedFactor = 0.9
+			cfg.ConservativeSpeed = 1.0 // estimates assume full speed -> misses
+			// Disable suspension so placement decisions are identical
+			// across the sweep: N also scales Algorithm 2's suspension
+			// bids, and with suspension enabled a high N makes suspending
+			// look cheap, cascading delays — a real interaction, but it
+			// confounds the pure accounting effect measured here.
+			cfg.DisableSuspension = true
+		}}.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		agg := metrics.AggregateRecords(r.Ledger.All())
+		pt := PenaltyNPoint{N: n, Revenue: agg.TotalRevenue, Missed: agg.DeadlinesMissed}
+		for _, rec := range r.Ledger.All() {
+			pt.TotalPenalty += rec.Penalty
+		}
+		res.Points[i] = pt
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *PenaltyNResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation A1: delay penalty divisor N (Eq. 3), late workload\n\n")
+	fmt.Fprintf(&b, "%-6s %-14s %-14s %s\n", "N", "penalty [u]", "revenue [u]", "missed")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 48))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6g %-14.0f %-14.0f %d\n", p.N, p.TotalPenalty, p.Revenue, p.Missed)
+	}
+	b.WriteString("\nhigher N -> smaller refunds -> higher provider revenue (paper §4.2.1)\n")
+	return b.String()
+}
+
+// --- A2: billing model -----------------------------------------------------
+
+// BillingPoint is one billing-model run.
+type BillingPoint struct {
+	Billing     string
+	CloudSpend  float64
+	CloudLeases int64
+	Suspensions int64
+	Completion  float64
+	TotalCost   float64
+}
+
+// BillingResult compares per-second billing (the paper's assumption)
+// against EC2-2013-style per-hour round-up. Per-hour billing inflates
+// the cloud bid in Algorithm 1, flipping decisions toward suspension.
+type BillingResult struct {
+	Points []BillingPoint
+}
+
+// AblationBilling runs the paper workload under both billing models.
+func AblationBilling(seed int64) (*BillingResult, error) {
+	models := []cloud.Billing{cloud.BillPerSecond, cloud.BillPerHour}
+	res := &BillingResult{Points: make([]BillingPoint, len(models))}
+	var mu sync.Mutex
+	var firstErr error
+	Parallel(len(models), 0, func(i int) {
+		r, err := Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
+			cfg.Clouds[0].Billing = models[i]
+		}}.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		agg := metrics.AggregateRecords(r.Ledger.All())
+		res.Points[i] = BillingPoint{
+			Billing:     models[i].String(),
+			CloudSpend:  r.CloudSpend,
+			CloudLeases: r.Counters.CloudLeases.Count,
+			Suspensions: r.Counters.Suspensions.Count,
+			Completion:  r.CompletionTime,
+			TotalCost:   agg.TotalCost,
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *BillingResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation A2: cloud billing model (per-second vs per-hour round-up)\n\n")
+	fmt.Fprintf(&b, "%-12s %-12s %-8s %-12s %-12s %s\n",
+		"billing", "spend [u]", "leases", "suspensions", "completion", "app cost [u]")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 72))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %-12.0f %-8d %-12d %-12.0f %.0f\n",
+			p.Billing, p.CloudSpend, p.CloudLeases, p.Suspensions, p.Completion, p.TotalCost)
+	}
+	b.WriteString("\nper-hour round-up inflates the cloud bid, shifting Algorithm 1 toward suspension/exchange\n")
+	return b.String()
+}
+
+// --- A3: policy comparison under load sweep -------------------------------
+
+// PolicyPoint is one (load, policy) cell.
+type PolicyPoint struct {
+	VC1Apps   int
+	Policy    string
+	TotalCost float64
+	PeakCloud int
+}
+
+// PoliciesResult sweeps offered load for both policies.
+type PoliciesResult struct {
+	Points []PolicyPoint
+}
+
+// AblationPolicies sweeps VC1 load (30..65 applications) under Meryn and
+// static partitioning: the bidding advantage grows with overload until
+// the lender's spare VMs are exhausted.
+func AblationPolicies(seed int64) (*PoliciesResult, error) {
+	loads := []int{25, 35, 50, 65}
+	type cell struct {
+		load   int
+		policy core.Policy
+	}
+	var cells []cell
+	for _, l := range loads {
+		cells = append(cells, cell{l, core.PolicyMeryn}, cell{l, core.PolicyStatic})
+	}
+	res := &PoliciesResult{Points: make([]PolicyPoint, len(cells))}
+	var mu sync.Mutex
+	var firstErr error
+	Parallel(len(cells), 0, func(i int) {
+		c := cells[i]
+		wl := workload.DefaultPaperConfig()
+		wl.VC1Apps = c.load
+		wl.Apps = c.load + 15
+		r, err := Scenario{Policy: c.policy, Seed: seed, Workload: workload.Paper(wl)}.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		agg := metrics.AggregateRecords(r.Ledger.All())
+		res.Points[i] = PolicyPoint{
+			VC1Apps:   c.load,
+			Policy:    c.policy.String(),
+			TotalCost: agg.TotalCost,
+			PeakCloud: int(r.CloudSeries.Max()),
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *PoliciesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation A3: policy comparison across VC1 load\n\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-14s %s\n", "vc1 apps", "policy", "cost [u]", "peak cloud VMs")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 50))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10d %-8s %-14.0f %d\n", p.VC1Apps, p.Policy, p.TotalCost, p.PeakCloud)
+	}
+	b.WriteString("\nat low load both policies stay private; the gap opens once VC1 overflows\n")
+	return b.String()
+}
+
+// --- A4: market-price volatility ------------------------------------------
+
+// MarketPoint is one volatility sweep point.
+type MarketPoint struct {
+	Volatility  float64
+	CloudSpend  float64
+	CloudLeases int64
+	Suspensions int64
+}
+
+// MarketResult shows how spot-price volatility perturbs burst decisions.
+type MarketResult struct {
+	Points []MarketPoint
+}
+
+// AblationMarket sweeps market volatility on the paper workload.
+func AblationMarket(seed int64) (*MarketResult, error) {
+	vols := []float64{0, 0.05, 0.15, 0.30}
+	res := &MarketResult{Points: make([]MarketPoint, len(vols))}
+	var mu sync.Mutex
+	var firstErr error
+	Parallel(len(vols), 0, func(i int) {
+		vol := vols[i]
+		r, err := Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
+			if vol > 0 {
+				cfg.Clouds[0].Market = &cloud.MarketConfig{
+					Volatility: vol, Reversion: 0.2, Floor: 0.25,
+				}
+			}
+		}}.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		res.Points[i] = MarketPoint{
+			Volatility:  vol,
+			CloudSpend:  r.CloudSpend,
+			CloudLeases: r.Counters.CloudLeases.Count,
+			Suspensions: r.Counters.Suspensions.Count,
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *MarketResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation A4: spot-market volatility vs burst behaviour\n\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-8s %s\n", "volatility", "spend [u]", "leases", "suspensions")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 50))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12.2f %-14.0f %-8d %d\n", p.Volatility, p.CloudSpend, p.CloudLeases, p.Suspensions)
+	}
+	b.WriteString("\nquotes are locked at launch; volatility shifts which option wins each bid round\n")
+	return b.String()
+}
+
+// --- A5: suspension on/off -------------------------------------------------
+
+// SuspensionPoint is one run of ablation A5.
+type SuspensionPoint struct {
+	Suspension  bool
+	TotalCost   float64
+	CloudLeases int64
+	Suspensions int64
+	Missed      int
+}
+
+// SuspensionResult isolates the value of Algorithm 2's suspension
+// machinery on a slack-rich workload with an expensive cloud.
+type SuspensionResult struct {
+	Points []SuspensionPoint
+}
+
+// AblationSuspension builds a workload of long slack-rich residents plus
+// short urgent arrivals, with cloud VMs priced 10x private, and compares
+// suspension enabled vs disabled.
+func AblationSuspension(seed int64) (*SuspensionResult, error) {
+	var wl workload.Workload
+	for i := 0; i < 5; i++ {
+		wl = append(wl, workload.App{
+			ID: fmt.Sprintf("resident-%d", i), Type: workload.TypeBatch, VC: "vc1",
+			SubmitAt: 0, VMs: 1, Work: 3000,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		wl = append(wl, workload.App{
+			ID: fmt.Sprintf("short-%d", i), Type: workload.TypeBatch, VC: "vc1",
+			SubmitAt: sim.Seconds(60 + float64(i)*30), VMs: 1, Work: 100,
+		})
+	}
+	mutate := func(disable bool) func(cfg *core.Config) {
+		return func(cfg *core.Config) {
+			cfg.VCs = cfg.VCs[:1]
+			cfg.VCs[0].InitialVMs = 5
+			cfg.Clouds[0].Types[0].Price = 40
+			cfg.UserVMPrice = 40
+			cfg.ProcessingEstimate = 600 // generous slack: deadline = exec + 600
+			cfg.ConservativeSpeed = 1.0
+			cfg.DisableSuspension = disable
+		}
+	}
+	res := &SuspensionResult{Points: make([]SuspensionPoint, 2)}
+	var mu sync.Mutex
+	var firstErr error
+	Parallel(2, 2, func(i int) {
+		disable := i == 1
+		r, err := Scenario{Seed: seed, Mutate: mutate(disable), Workload: wl}.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		agg := metrics.AggregateRecords(r.Ledger.All())
+		res.Points[i] = SuspensionPoint{
+			Suspension:  !disable,
+			TotalCost:   agg.TotalCost,
+			CloudLeases: r.Counters.CloudLeases.Count,
+			Suspensions: r.Counters.Suspensions.Count,
+			Missed:      agg.DeadlinesMissed,
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *SuspensionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation A5: suspension machinery on a slack-rich workload (cloud 10x private)\n\n")
+	fmt.Fprintf(&b, "%-12s %-12s %-8s %-12s %s\n", "suspension", "cost [u]", "leases", "suspensions", "missed")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 56))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12v %-12.0f %-8d %-12d %d\n", p.Suspension, p.TotalCost, p.CloudLeases, p.Suspensions, p.Missed)
+	}
+	b.WriteString("\nwith slack to spare, suspending residents beats leasing expensive cloud VMs\n")
+	return b.String()
+}

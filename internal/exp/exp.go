@@ -1,0 +1,131 @@
+// Package exp defines the reproduction experiments: one per table and
+// figure in the paper's evaluation (Table 1, Figures 5a/5b, 6a/6b) plus
+// the ablations listed in DESIGN.md. Each experiment builds scenarios on
+// the core platform, runs them (in parallel where independent), and
+// returns a result that renders to text and knows the paper-expected
+// values for shape checking.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"meryn/internal/core"
+	"meryn/internal/workload"
+)
+
+// Parallel runs fn(0..n-1) across a worker pool and waits. Simulations
+// are single-threaded and independent, so sweeps scale with cores.
+func Parallel(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Scenario is one platform run specification.
+type Scenario struct {
+	Policy   core.Policy
+	Seed     int64
+	Mutate   func(*core.Config) // applied after DefaultConfig
+	Workload workload.Workload
+}
+
+// Run builds the platform and executes the scenario.
+func (s Scenario) Run() (*core.Results, error) {
+	cfg := core.DefaultConfig()
+	cfg.Policy = s.Policy
+	cfg.Seed = s.Seed
+	if s.Mutate != nil {
+		s.Mutate(&cfg)
+	}
+	p, err := core.NewPlatform(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: building platform: %w", err)
+	}
+	w := s.Workload
+	if w == nil {
+		w = workload.Paper(workload.DefaultPaperConfig())
+	}
+	return p.Run(w)
+}
+
+// Experiment is a named, runnable reproduction unit for the CLI.
+type Experiment struct {
+	Name     string
+	Artifact string // which paper artifact it regenerates
+	Run      func(seed int64) (Renderable, error)
+}
+
+// Renderable produces human-readable experiment output.
+type Renderable interface {
+	Render() string
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{Name: "table1", Artifact: "Table 1 (processing times)", Run: func(seed int64) (Renderable, error) {
+			return Table1(20, seed)
+		}},
+		{Name: "fig5", Artifact: "Figure 5(a)/(b) (VM usage over time)", Run: func(seed int64) (Renderable, error) {
+			return Fig5(seed)
+		}},
+		{Name: "fig6", Artifact: "Figure 6(a)/(b) (completion time & cost)", Run: func(seed int64) (Renderable, error) {
+			return Fig6(seed)
+		}},
+		{Name: "penalty-n", Artifact: "Ablation A1 (Eq. 3 divisor N)", Run: func(seed int64) (Renderable, error) {
+			return AblationPenaltyN(seed)
+		}},
+		{Name: "billing", Artifact: "Ablation A2 (per-second vs per-hour billing)", Run: func(seed int64) (Renderable, error) {
+			return AblationBilling(seed)
+		}},
+		{Name: "policies", Artifact: "Ablation A3 (policy comparison under load sweep)", Run: func(seed int64) (Renderable, error) {
+			return AblationPolicies(seed)
+		}},
+		{Name: "market", Artifact: "Ablation A4 (market price volatility)", Run: func(seed int64) (Renderable, error) {
+			return AblationMarket(seed)
+		}},
+		{Name: "suspension", Artifact: "Ablation A5 (suspension on/off)", Run: func(seed int64) (Renderable, error) {
+			return AblationSuspension(seed)
+		}},
+		{Name: "realistic", Artifact: "Extension: realistic datacenter workloads (paper §7)", Run: func(seed int64) (Renderable, error) {
+			return AblationRealistic(seed)
+		}},
+	}
+}
+
+// Find returns the named experiment.
+func Find(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

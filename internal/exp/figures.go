@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"meryn/internal/core"
+	"meryn/internal/metrics"
+	"meryn/internal/report"
+	"meryn/internal/sim"
+)
+
+// Fig5Result reproduces Figures 5(a) and 5(b): used private and cloud
+// VMs over time under Meryn and the static approach.
+type Fig5Result struct {
+	Meryn  *core.Results
+	Static *core.Results
+}
+
+// Fig5 runs the paper workload under both policies.
+func Fig5(seed int64) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	var errM, errS error
+	Parallel(2, 2, func(i int) {
+		if i == 0 {
+			res.Meryn, errM = Scenario{Policy: core.PolicyMeryn, Seed: seed}.Run()
+		} else {
+			res.Static, errS = Scenario{Policy: core.PolicyStatic, Seed: seed}.Run()
+		}
+	})
+	if errM != nil {
+		return nil, errM
+	}
+	if errS != nil {
+		return nil, errS
+	}
+	return res, nil
+}
+
+// PeakCloudMeryn returns the maximum concurrent cloud VMs under Meryn
+// (paper: 15).
+func (r *Fig5Result) PeakCloudMeryn() int { return int(r.Meryn.CloudSeries.Max()) }
+
+// PeakCloudStatic returns the maximum under the static approach
+// (paper: 25).
+func (r *Fig5Result) PeakCloudStatic() int { return int(r.Static.CloudSeries.Max()) }
+
+// Render implements Renderable.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	horizon := sim.Seconds(r.Static.CompletionTime + 50)
+	chartA := report.Chart{
+		Title:   "Figure 5(a): Used Private and Cloud VMs with Meryn",
+		Series:  []*metrics.Series{named(r.Meryn.PrivateSeries, "Private VMs"), named(r.Meryn.CloudSeries, "Cloud VMs")},
+		Horizon: horizon,
+		YLabel:  "used VMs",
+	}
+	chartB := report.Chart{
+		Title:   "Figure 5(b): Used Private and Cloud VMs with Static Approach",
+		Series:  []*metrics.Series{named(r.Static.PrivateSeries, "Private VMs"), named(r.Static.CloudSeries, "Cloud VMs")},
+		Horizon: horizon,
+		YLabel:  "used VMs",
+	}
+	_ = chartA.Render(&b)
+	b.WriteByte('\n')
+	_ = chartB.Render(&b)
+	fmt.Fprintf(&b, "\npeak cloud VMs: meryn=%d (paper 15), static=%d (paper 25)\n",
+		r.PeakCloudMeryn(), r.PeakCloudStatic())
+	fmt.Fprintf(&b, "completion: meryn=%.0fs (paper 2021), static=%.0fs (paper 2091)\n",
+		r.Meryn.CompletionTime, r.Static.CompletionTime)
+	return b.String()
+}
+
+// named relabels a series for display without copying points.
+func named(s *metrics.Series, name string) *metrics.Series {
+	out := metrics.NewSeries(name)
+	for _, p := range s.Points() {
+		out.Record(p.At, p.Value)
+	}
+	return out
+}
+
+// Fig6Group is one bar group of Figure 6.
+type Fig6Group struct {
+	Name        string
+	MerynValue  float64
+	StaticValue float64
+}
+
+// Fig6Result reproduces Figures 6(a) and 6(b): completion time / average
+// execution time and cost comparisons for the workload, all
+// applications, VC1 applications and VC2 applications.
+type Fig6Result struct {
+	Time []Fig6Group // 6(a): seconds
+	Cost []Fig6Group // 6(b): units (workload scaled by 1/100, as in the paper)
+
+	MerynTotalCost   float64
+	StaticTotalCost  float64
+	CostSavingPct    float64 // paper: 14.07%
+	VC1CostSavingPct float64 // paper: 16.72%
+	ExecSavingPct    float64 // paper: 2.57%
+}
+
+// Fig6 runs the paper workload under both policies and aggregates.
+func Fig6(seed int64) (*Fig6Result, error) {
+	f5, err := Fig5(seed)
+	if err != nil {
+		return nil, err
+	}
+	return fig6From(f5), nil
+}
+
+func fig6From(f5 *Fig5Result) *Fig6Result {
+	m, s := f5.Meryn, f5.Static
+	mAll := metrics.AggregateRecords(m.Ledger.All())
+	sAll := metrics.AggregateRecords(s.Ledger.All())
+	mVC1 := metrics.AggregateRecords(m.Ledger.ByVC("vc1"))
+	sVC1 := metrics.AggregateRecords(s.Ledger.ByVC("vc1"))
+	mVC2 := metrics.AggregateRecords(m.Ledger.ByVC("vc2"))
+	sVC2 := metrics.AggregateRecords(s.Ledger.ByVC("vc2"))
+
+	res := &Fig6Result{
+		Time: []Fig6Group{
+			{Name: "Workload", MerynValue: m.CompletionTime, StaticValue: s.CompletionTime},
+			{Name: "All applis", MerynValue: mAll.MeanExecTime, StaticValue: sAll.MeanExecTime},
+			{Name: "VC1 applis", MerynValue: mVC1.MeanExecTime, StaticValue: sVC1.MeanExecTime},
+			{Name: "VC2 applis", MerynValue: mVC2.MeanExecTime, StaticValue: sVC2.MeanExecTime},
+		},
+		Cost: []Fig6Group{
+			{Name: "Workload (x100)", MerynValue: mAll.TotalCost / 100, StaticValue: sAll.TotalCost / 100},
+			{Name: "All applis", MerynValue: mAll.MeanCost, StaticValue: sAll.MeanCost},
+			{Name: "VC1 applis", MerynValue: mVC1.MeanCost, StaticValue: sVC1.MeanCost},
+			{Name: "VC2 applis", MerynValue: mVC2.MeanCost, StaticValue: sVC2.MeanCost},
+		},
+		MerynTotalCost:  mAll.TotalCost,
+		StaticTotalCost: sAll.TotalCost,
+	}
+	res.CostSavingPct = pctSaving(sAll.TotalCost, mAll.TotalCost)
+	res.VC1CostSavingPct = pctSaving(sVC1.MeanCost, mVC1.MeanCost)
+	res.ExecSavingPct = pctSaving(sAll.MeanExecTime, mAll.MeanExecTime)
+	return res
+}
+
+func pctSaving(static, meryn float64) float64 {
+	if static == 0 {
+		return 0
+	}
+	return (static - meryn) / static * 100
+}
+
+// Render implements Renderable.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	timeBars := report.BarGroup{Title: "Figure 6(a): Completion Time Comparison", Unit: "s"}
+	for _, g := range r.Time {
+		timeBars.Groups = append(timeBars.Groups, report.Bar{Label: g.Name, Meryn: g.MerynValue, Static: g.StaticValue})
+	}
+	costBars := report.BarGroup{Title: "Figure 6(b): Cost Comparison", Unit: "units"}
+	for _, g := range r.Cost {
+		costBars.Groups = append(costBars.Groups, report.Bar{Label: g.Name, Meryn: g.MerynValue, Static: g.StaticValue})
+	}
+	_ = timeBars.Render(&b)
+	b.WriteByte('\n')
+	_ = costBars.Render(&b)
+	fmt.Fprintf(&b, "\ncost saving: workload %.2f%% (paper 14.07%%), VC1 mean %.2f%% (paper 16.72%%)\n",
+		r.CostSavingPct, r.VC1CostSavingPct)
+	fmt.Fprintf(&b, "mean exec-time saving: %.2f%% (paper 2.57%%)\n", r.ExecSavingPct)
+	fmt.Fprintf(&b, "total cost: meryn %.0f vs static %.0f units (saving %.0f; paper saving 41158)\n",
+		r.MerynTotalCost, r.StaticTotalCost, r.StaticTotalCost-r.MerynTotalCost)
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"meryn/internal/cloud"
+	"meryn/internal/core"
+	"meryn/internal/sim"
+	"meryn/internal/stats"
+	"meryn/internal/workload"
+)
+
+// table1Case forces one placement path and measures the target
+// application's processing time (submission to execution start).
+type table1Case struct {
+	Name     string
+	PaperLo  float64
+	PaperHi  float64
+	scenario func(seed int64) Scenario
+	target   string
+}
+
+func batchApp(id, vc string, at, work float64) workload.App {
+	return workload.App{ID: id, Type: workload.TypeBatch, VC: vc,
+		SubmitAt: sim.Seconds(at), VMs: 1, Work: work}
+}
+
+// noClouds strips public providers from a config.
+func noClouds(cfg *core.Config) { cfg.Clouds = []cloud.Config{} }
+
+// table1Cases builds the five measurement scenarios of paper Table 1.
+func table1Cases() []table1Case {
+	return []table1Case{
+		{
+			Name: "local-vm", PaperLo: 7, PaperHi: 15,
+			target: "target",
+			scenario: func(seed int64) Scenario {
+				return Scenario{Seed: seed,
+					Mutate: func(cfg *core.Config) {
+						cfg.VCs = cfg.VCs[:1]
+						cfg.VCs[0].InitialVMs = 2
+						noClouds(cfg)
+					},
+					Workload: workload.Workload{batchApp("target", "vc1", 0, 100)},
+				}
+			},
+		},
+		{
+			Name: "vc-vm", PaperLo: 40, PaperHi: 58,
+			target: "target",
+			scenario: func(seed int64) Scenario {
+				return Scenario{Seed: seed,
+					Mutate: func(cfg *core.Config) {
+						cfg.VCs[0].InitialVMs = 1
+						cfg.VCs[1].InitialVMs = 2
+						noClouds(cfg)
+					},
+					Workload: workload.Workload{
+						batchApp("filler", "vc1", 0, 2000),
+						batchApp("target", "vc1", 30, 100),
+					},
+				}
+			},
+		},
+		{
+			Name: "cloud-vm", PaperLo: 60, PaperHi: 84,
+			target: "target",
+			scenario: func(seed int64) Scenario {
+				return Scenario{Seed: seed,
+					Mutate: func(cfg *core.Config) {
+						cfg.VCs = cfg.VCs[:1]
+						cfg.VCs[0].InitialVMs = 1
+					},
+					Workload: workload.Workload{
+						batchApp("filler", "vc1", 0, 2000),
+						batchApp("target", "vc1", 30, 100),
+					},
+				}
+			},
+		},
+		{
+			Name: "local-vm after suspension", PaperLo: 10, PaperHi: 17,
+			target: "target",
+			scenario: func(seed int64) Scenario {
+				return Scenario{Seed: seed,
+					Mutate: func(cfg *core.Config) {
+						cfg.VCs = cfg.VCs[:1]
+						cfg.VCs[0].InitialVMs = 1
+						cfg.ConservativeSpeed = 1.0
+						noClouds(cfg)
+					},
+					Workload: workload.Workload{
+						batchApp("victim", "vc1", 0, 2000),
+						batchApp("target", "vc1", 30, 10),
+					},
+				}
+			},
+		},
+		{
+			Name: "vc-vm after suspension", PaperLo: 60, PaperHi: 68,
+			target: "target",
+			scenario: func(seed int64) Scenario {
+				return Scenario{Seed: seed,
+					Mutate: func(cfg *core.Config) {
+						cfg.VCs[0].InitialVMs = 0
+						cfg.VCs[1].InitialVMs = 1
+						cfg.ConservativeSpeed = 1.0
+						noClouds(cfg)
+					},
+					Workload: workload.Workload{
+						batchApp("victim", "vc2", 0, 2000),
+						batchApp("target", "vc1", 30, 10),
+					},
+				}
+			},
+		},
+	}
+}
+
+// Table1Row is one measured case.
+type Table1Row struct {
+	Case             string
+	PaperLo, PaperHi float64
+	Measured         stats.Summary
+}
+
+// Table1Result reproduces paper Table 1.
+type Table1Result struct {
+	Samples int
+	Rows    []Table1Row
+}
+
+// Table1 measures every case `samples` times with distinct seeds.
+func Table1(samples int, baseSeed int64) (*Table1Result, error) {
+	cases := table1Cases()
+	res := &Table1Result{Samples: samples, Rows: make([]Table1Row, len(cases))}
+	var mu sync.Mutex
+	var firstErr error
+
+	type unit struct{ caseIdx, sample int }
+	units := make([]unit, 0, len(cases)*samples)
+	for ci := range cases {
+		for s := 0; s < samples; s++ {
+			units = append(units, unit{ci, s})
+		}
+	}
+	for i := range cases {
+		res.Rows[i] = Table1Row{Case: cases[i].Name, PaperLo: cases[i].PaperLo, PaperHi: cases[i].PaperHi}
+	}
+	Parallel(len(units), 0, func(i int) {
+		u := units[i]
+		c := cases[u.caseIdx]
+		seed := baseSeed + int64(u.sample)*1000 + int64(u.caseIdx)
+		r, err := c.scenario(seed).Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("exp: table1 case %q: %w", c.Name, err)
+			}
+			return
+		}
+		rec := r.Ledger.Get(c.target)
+		if rec == nil || rec.StartTime == 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("exp: table1 case %q: target never started", c.Name)
+			}
+			return
+		}
+		res.Rows[u.caseIdx].Measured.Add(sim.ToSeconds(rec.ProcessingTime()))
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Processing Time Measurement (%d samples per case)\n\n", r.Samples)
+	fmt.Fprintf(&b, "%-28s %-12s %-16s %s\n", "Case", "Paper [s]", "Measured [s]", "Mean [s]")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 72))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %-12s %-16s %.1f\n",
+			row.Case,
+			fmt.Sprintf("%.0f~%.0f", row.PaperLo, row.PaperHi),
+			fmt.Sprintf("%.1f~%.1f", row.Measured.Min(), row.Measured.Max()),
+			row.Measured.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,392 @@
+// Package batch implements an OGE/Torque-like batch framework: a FIFO
+// job queue (with optional backfill), dedicated-node assignment — the
+// paper configures the scheduler so each application owns a fixed number
+// of VMs — and checkpoint-based job suspension, which is what makes the
+// bid computation of paper Algorithm 2 possible.
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"meryn/internal/framework"
+	"meryn/internal/sim"
+)
+
+// Errors returned by the batch framework.
+var (
+	ErrNodeExists  = errors.New("batch: node already attached")
+	ErrNodeUnknown = errors.New("batch: unknown node")
+	ErrNodeBusy    = errors.New("batch: node is running a job")
+	ErrJobExists   = errors.New("batch: job already submitted")
+	ErrJobUnknown  = errors.New("batch: unknown job")
+	ErrJobState    = errors.New("batch: job is not in a valid state for this operation")
+	ErrBadJob      = errors.New("batch: invalid job description")
+)
+
+type nodeState struct {
+	node     framework.Node
+	disabled bool
+	jobID    string // "" when idle
+}
+
+type runInfo struct {
+	nodeIDs   []string
+	speed     float64 // min speed across assigned nodes
+	startedAt sim.Time
+	finish    *sim.Timer
+}
+
+// Config configures a batch framework instance.
+type Config struct {
+	Name   string
+	Image  string
+	Events framework.Events
+
+	// Backfill lets jobs behind a blocked queue head start when enough
+	// nodes are free (EASY-style without reservations). The paper's
+	// single-VM workload is insensitive to this; it defaults to off to
+	// match plain FIFO.
+	Backfill bool
+}
+
+// Batch is an OGE-like framework. It implements framework.Framework.
+type Batch struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[string]*nodeState
+	order []string // node attach order, for deterministic iteration
+	jobs  map[string]*framework.Job
+	queue []string // job IDs waiting
+	runs  map[string]*runInfo
+}
+
+var _ framework.Framework = (*Batch)(nil)
+
+// New returns an empty batch framework.
+func New(eng *sim.Engine, cfg Config) *Batch {
+	if cfg.Name == "" {
+		cfg.Name = "batch"
+	}
+	if cfg.Image == "" {
+		cfg.Image = cfg.Name + ".img"
+	}
+	return &Batch{
+		eng:   eng,
+		cfg:   cfg,
+		nodes: make(map[string]*nodeState),
+		jobs:  make(map[string]*framework.Job),
+		runs:  make(map[string]*runInfo),
+	}
+}
+
+// Name implements framework.Framework.
+func (b *Batch) Name() string { return b.cfg.Name }
+
+// Image implements framework.Framework.
+func (b *Batch) Image() string { return b.cfg.Image }
+
+// AddNode implements framework.Framework. Adding a node immediately
+// triggers scheduling. Adding a duplicate ID panics: it indicates a
+// Cluster Manager bookkeeping bug.
+func (b *Batch) AddNode(n framework.Node) {
+	if _, dup := b.nodes[n.ID]; dup {
+		panic(fmt.Sprintf("%v: %s", ErrNodeExists, n.ID))
+	}
+	if n.SpeedFactor <= 0 {
+		n.SpeedFactor = 1.0
+	}
+	b.nodes[n.ID] = &nodeState{node: n}
+	b.order = append(b.order, n.ID)
+	b.schedule()
+}
+
+// DisableNode implements framework.Framework.
+func (b *Batch) DisableNode(id string) error {
+	ns, ok := b.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	ns.disabled = true
+	return nil
+}
+
+// RemoveNode implements framework.Framework.
+func (b *Batch) RemoveNode(id string) error {
+	ns, ok := b.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	if ns.jobID != "" {
+		return fmt.Errorf("%w: %s runs %s", ErrNodeBusy, id, ns.jobID)
+	}
+	delete(b.nodes, id)
+	for i, nid := range b.order {
+		if nid == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// FailNode implements framework.Framework. A crashed node kills the job
+// gang-scheduled on it: progress since the last checkpoint (suspension)
+// is lost, the job's surviving nodes are freed and the job requeues at
+// the front.
+func (b *Batch) FailNode(id string) error {
+	ns, ok := b.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	jobID := ns.jobID
+	delete(b.nodes, id)
+	for i, nid := range b.order {
+		if nid == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	if jobID == "" {
+		return nil
+	}
+	j := b.jobs[jobID]
+	run := b.runs[jobID]
+	run.finish.Cancel()
+	delete(b.runs, jobID)
+	b.freeJobNodes(jobID) // survivors become idle
+	j.State = framework.JobQueued
+	b.queue = append([]string{jobID}, b.queue...)
+	if b.cfg.Events.OnRequeue != nil {
+		b.cfg.Events.OnRequeue(j)
+	}
+	b.schedule()
+	return nil
+}
+
+// NumNodes implements framework.Framework.
+func (b *Batch) NumNodes() int { return len(b.nodes) }
+
+// FreeNodeIDs implements framework.Framework.
+func (b *Batch) FreeNodeIDs() []string {
+	var out []string
+	for _, id := range b.order {
+		ns := b.nodes[id]
+		if ns.jobID == "" && !ns.disabled {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IdleDisabledNodeIDs implements framework.Framework.
+func (b *Batch) IdleDisabledNodeIDs() []string {
+	var out []string
+	for _, id := range b.order {
+		ns := b.nodes[id]
+		if ns.jobID == "" && ns.disabled {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Submit implements framework.Framework.
+func (b *Batch) Submit(j *framework.Job) error {
+	if j.ID == "" || j.VMs <= 0 || j.Work <= 0 {
+		return fmt.Errorf("%w: id=%q vms=%d work=%g", ErrBadJob, j.ID, j.VMs, j.Work)
+	}
+	if _, dup := b.jobs[j.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrJobExists, j.ID)
+	}
+	j.State = framework.JobQueued
+	j.SubmittedAt = b.eng.Now()
+	b.jobs[j.ID] = j
+	b.queue = append(b.queue, j.ID)
+	b.schedule()
+	return nil
+}
+
+// Suspend implements framework.Framework. The job's completed work is
+// preserved (checkpoint); its nodes become free.
+func (b *Batch) Suspend(id string) error {
+	j, ok := b.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrJobUnknown, id)
+	}
+	if j.State != framework.JobRunning {
+		return fmt.Errorf("%w: %s is %v", ErrJobState, id, j.State)
+	}
+	run := b.runs[id]
+	run.finish.Cancel()
+	elapsed := sim.ToSeconds(b.eng.Now() - run.startedAt)
+	j.DoneWork += elapsed * run.speed * float64(len(run.nodeIDs))
+	if j.DoneWork > j.Work {
+		j.DoneWork = j.Work
+	}
+	j.State = framework.JobSuspended
+	j.Suspensions++
+	b.freeJobNodes(id)
+	delete(b.runs, id)
+	if b.cfg.Events.OnSuspend != nil {
+		b.cfg.Events.OnSuspend(j)
+	}
+	b.schedule()
+	return nil
+}
+
+// Resume implements framework.Framework. Resumed jobs go to the front of
+// the queue so lent VMs returning to the VC restart the victim first.
+func (b *Batch) Resume(id string) error {
+	j, ok := b.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrJobUnknown, id)
+	}
+	if j.State != framework.JobSuspended {
+		return fmt.Errorf("%w: %s is %v", ErrJobState, id, j.State)
+	}
+	j.State = framework.JobQueued
+	b.queue = append([]string{id}, b.queue...)
+	if b.cfg.Events.OnResume != nil {
+		b.cfg.Events.OnResume(j)
+	}
+	b.schedule()
+	return nil
+}
+
+// JobNodes implements framework.Framework.
+func (b *Batch) JobNodes(id string) ([]string, error) {
+	run, ok := b.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not running", ErrJobState, id)
+	}
+	out := make([]string, len(run.nodeIDs))
+	copy(out, run.nodeIDs)
+	return out, nil
+}
+
+// Progress implements framework.Framework.
+func (b *Batch) Progress(id string) (float64, error) {
+	j, ok := b.jobs[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrJobUnknown, id)
+	}
+	done := j.DoneWork
+	if run, running := b.runs[id]; running {
+		done += sim.ToSeconds(b.eng.Now()-run.startedAt) * run.speed * float64(len(run.nodeIDs))
+	}
+	p := done / j.Work
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// Get implements framework.Framework.
+func (b *Batch) Get(id string) (*framework.Job, bool) {
+	j, ok := b.jobs[id]
+	return j, ok
+}
+
+// Running implements framework.Framework.
+func (b *Batch) Running() []*framework.Job {
+	ids := make([]string, 0, len(b.runs))
+	for id := range b.runs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*framework.Job, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, b.jobs[id])
+	}
+	return out
+}
+
+// QueuedJobs implements framework.Framework.
+func (b *Batch) QueuedJobs() []*framework.Job {
+	out := make([]*framework.Job, 0, len(b.queue))
+	for _, id := range b.queue {
+		out = append(out, b.jobs[id])
+	}
+	return out
+}
+
+func (b *Batch) freeJobNodes(jobID string) {
+	for _, ns := range b.nodes {
+		if ns.jobID == jobID {
+			ns.jobID = ""
+		}
+	}
+}
+
+// schedule assigns queued jobs to free nodes: strict FIFO, or FIFO with
+// backfill when configured.
+func (b *Batch) schedule() {
+	for {
+		free := b.FreeNodeIDs()
+		if len(free) == 0 || len(b.queue) == 0 {
+			return
+		}
+		started := false
+		for qi := 0; qi < len(b.queue); qi++ {
+			j := b.jobs[b.queue[qi]]
+			if j.VMs > len(free) {
+				if !b.cfg.Backfill {
+					return // FIFO: blocked head blocks everyone
+				}
+				continue
+			}
+			b.queue = append(b.queue[:qi], b.queue[qi+1:]...)
+			b.start(j, free[:j.VMs])
+			started = true
+			break
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+func (b *Batch) start(j *framework.Job, nodeIDs []string) {
+	speed := 0.0
+	for _, id := range nodeIDs {
+		ns := b.nodes[id]
+		ns.jobID = j.ID
+		if speed == 0 || ns.node.SpeedFactor < speed {
+			speed = ns.node.SpeedFactor
+		}
+	}
+	now := b.eng.Now()
+	if !j.Started {
+		j.Started = true
+		j.StartedAt = now
+	}
+	j.State = framework.JobRunning
+	// Jobs scale perfectly over their dedicated nodes: each node works
+	// one 1/n slice at its own speed, and the job finishes when the
+	// slowest slice does — Work / (n * min speed).
+	remaining := (j.Work - j.DoneWork) / (speed * float64(len(nodeIDs)))
+	run := &runInfo{
+		nodeIDs:   append([]string(nil), nodeIDs...),
+		speed:     speed,
+		startedAt: now,
+	}
+	b.runs[j.ID] = run
+	run.finish = b.eng.After(sim.Seconds(remaining), func() { b.finish(j) })
+	if b.cfg.Events.OnStart != nil {
+		b.cfg.Events.OnStart(j)
+	}
+}
+
+func (b *Batch) finish(j *framework.Job) {
+	j.State = framework.JobDone
+	j.DoneWork = j.Work
+	j.FinishedAt = b.eng.Now()
+	b.freeJobNodes(j.ID)
+	delete(b.runs, j.ID)
+	if b.cfg.Events.OnFinish != nil {
+		b.cfg.Events.OnFinish(j)
+	}
+	b.schedule()
+}

@@ -1,0 +1,140 @@
+// Package framework defines the boundary between Meryn and the
+// programming frameworks it hosts (OGE, Hadoop in the paper's prototype).
+// The interface deliberately exposes only what the paper assumes an
+// unmodified framework can do — add/remove/drain nodes, submit jobs,
+// suspend/resume jobs, report progress — because Meryn's extensibility
+// argument (§2) rests on leaving framework internals untouched.
+//
+// Concrete implementations live in the batch (OGE-like) and mapreduce
+// (Hadoop-like) subpackages.
+package framework
+
+import (
+	"fmt"
+
+	"meryn/internal/sim"
+)
+
+// Node is a compute slave attached to a framework: a private VM or a
+// leased cloud VM. Frameworks never learn which — that distinction
+// belongs to the Cluster Manager.
+type Node struct {
+	ID          string
+	SpeedFactor float64 // relative CPU speed; execution time = work / speed
+	Cloud       bool    // informational; frameworks must not branch on it
+}
+
+// JobState is the lifecycle of a framework job.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobSuspended
+	JobDone
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobSuspended:
+		return "suspended"
+	case JobDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is a framework-level work unit, produced by the Cluster Manager's
+// template translation (§3.3). Batch frameworks use VMs and Work;
+// MapReduce frameworks use the task fields.
+type Job struct {
+	ID  string
+	VMs int // dedicated nodes (batch) — the paper's scheduler configuration
+
+	// Work is the job's size in reference CPU-seconds: execution time on
+	// a SpeedFactor-1.0 node. Used by batch frameworks.
+	Work float64
+
+	// MapReduce shape (used by the mapreduce framework).
+	MapTasks    int
+	ReduceTasks int
+	MapWork     float64 // reference seconds per map task
+	ReduceWork  float64 // reference seconds per reduce task
+
+	// Lifecycle, maintained by the framework.
+	State       JobState
+	SubmittedAt sim.Time
+	Started     bool     // the job has begun executing at least once
+	StartedAt   sim.Time // first time the job began executing
+	FinishedAt  sim.Time
+	Suspensions int
+
+	// DoneWork is accumulated completed reference-seconds, preserved
+	// across suspensions (batch: whole-job progress; mapreduce: completed
+	// task work).
+	DoneWork float64
+}
+
+// Events are the notifications a framework emits. All callbacks are
+// optional. They fire synchronously inside the simulation event that
+// caused them.
+type Events struct {
+	OnStart   func(*Job) // job began (or re-began after resume) executing
+	OnFinish  func(*Job)
+	OnSuspend func(*Job)
+	OnResume  func(*Job) // job re-entered the queue after Resume
+	OnRequeue func(*Job) // job lost its nodes involuntarily (node failure)
+}
+
+// Framework is what the Cluster Manager's generic part drives. All
+// methods are synchronous in simulated time; real-world latencies (VM
+// boot, daemon configuration) are charged by the callers that wrap them.
+type Framework interface {
+	// Name identifies the framework instance (e.g. "batch-vc1").
+	Name() string
+	// Image is the VM disk image slaves of this framework boot from.
+	Image() string
+
+	// AddNode attaches a slave node.
+	AddNode(Node)
+	// DisableNode drains a node: running work continues, but the
+	// scheduler stops assigning new work to it. Used before removal.
+	DisableNode(id string) error
+	// RemoveNode detaches an idle node. It fails if the node is busy.
+	RemoveNode(id string) error
+	// FailNode forcibly detaches a node (VM crash). Work running on it
+	// is lost: batch jobs requeue with their last checkpoint, MapReduce
+	// jobs lose the in-flight tasks on that node.
+	FailNode(id string) error
+	// NumNodes returns the number of attached nodes.
+	NumNodes() int
+	// FreeNodeIDs lists enabled nodes with no work assigned.
+	FreeNodeIDs() []string
+	// IdleDisabledNodeIDs lists disabled nodes with no work assigned
+	// (ready for removal).
+	IdleDisabledNodeIDs() []string
+
+	// Submit enqueues a job.
+	Submit(*Job) error
+	// Suspend checkpoints a running job and frees its nodes.
+	Suspend(id string) error
+	// Resume re-queues a suspended job with priority.
+	Resume(id string) error
+	// JobNodes lists the node IDs a running job occupies.
+	JobNodes(id string) ([]string, error)
+	// Progress returns completed fraction in [0,1].
+	Progress(id string) (float64, error)
+	// Get looks a job up.
+	Get(id string) (*Job, bool)
+	// Running lists running jobs in submission order.
+	Running() []*Job
+	// QueuedJobs lists queued jobs in queue order.
+	QueuedJobs() []*Job
+}

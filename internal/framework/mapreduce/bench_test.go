@@ -1,0 +1,29 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"meryn/internal/framework"
+	"meryn/internal/sim"
+)
+
+// BenchmarkTaskScheduling measures slot scheduling cost: 32 nodes x 2
+// slots, 16 jobs x 64 map tasks driven to completion.
+func BenchmarkTaskScheduling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fw := New(eng, Config{SlotsPerNode: 2})
+		for n := 0; n < 32; n++ {
+			fw.AddNode(framework.Node{ID: fmt.Sprintf("n%03d", n), SpeedFactor: 1.0})
+		}
+		for j := 0; j < 16; j++ {
+			job := &framework.Job{ID: fmt.Sprintf("j%03d", j), MapTasks: 64, ReduceTasks: 8, MapWork: 10, ReduceWork: 5}
+			if err := fw.Submit(job); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.RunAll()
+	}
+}

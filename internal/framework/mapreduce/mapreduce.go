@@ -1,0 +1,466 @@
+// Package mapreduce implements a Hadoop-0.20-like framework: nodes
+// contribute a fixed number of task slots, jobs consist of map tasks
+// followed (after a barrier) by reduce tasks, and the scheduler hands
+// slots to jobs in submission order. Suspension kills in-flight tasks
+// (their partial work is lost) but keeps completed task output, matching
+// how a Hadoop job can be drained and re-run from committed task state.
+//
+// This framework exercises Meryn's extensibility claim: the Cluster
+// Manager drives it through exactly the same framework.Framework
+// interface as the batch framework.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"meryn/internal/framework"
+	"meryn/internal/sim"
+)
+
+// Errors returned by the mapreduce framework.
+var (
+	ErrNodeExists  = errors.New("mapreduce: node already attached")
+	ErrNodeUnknown = errors.New("mapreduce: unknown node")
+	ErrNodeBusy    = errors.New("mapreduce: node has running tasks")
+	ErrJobExists   = errors.New("mapreduce: job already submitted")
+	ErrJobUnknown  = errors.New("mapreduce: unknown job")
+	ErrJobState    = errors.New("mapreduce: job is not in a valid state for this operation")
+	ErrBadJob      = errors.New("mapreduce: invalid job description")
+)
+
+type phase int
+
+const (
+	phaseMap phase = iota
+	phaseReduce
+)
+
+type nodeState struct {
+	node      framework.Node
+	disabled  bool
+	usedSlots int
+}
+
+type taskRun struct {
+	jobID  string
+	phase  phase
+	nodeID string
+	timer  *sim.Timer
+}
+
+type jobState struct {
+	job           *framework.Job
+	completedMaps int
+	completedReds int
+	runningMaps   int
+	runningReds   int
+	active        bool // queued or running (not suspended/done)
+	tasks         map[int]*taskRun
+	nextTask      int
+}
+
+// Config configures a MapReduce framework instance.
+type Config struct {
+	Name         string
+	Image        string
+	SlotsPerNode int // task slots each node contributes; default 2
+	Events       framework.Events
+}
+
+// MapReduce is a Hadoop-like framework. It implements framework.Framework.
+type MapReduce struct {
+	eng      *sim.Engine
+	cfg      Config
+	nodes    map[string]*nodeState
+	order    []string // node attach order
+	jobs     map[string]*jobState
+	jobOrder []string // submission order
+}
+
+var _ framework.Framework = (*MapReduce)(nil)
+
+// New returns an empty MapReduce framework.
+func New(eng *sim.Engine, cfg Config) *MapReduce {
+	if cfg.Name == "" {
+		cfg.Name = "mapreduce"
+	}
+	if cfg.Image == "" {
+		cfg.Image = cfg.Name + ".img"
+	}
+	if cfg.SlotsPerNode <= 0 {
+		cfg.SlotsPerNode = 2
+	}
+	return &MapReduce{
+		eng:   eng,
+		cfg:   cfg,
+		nodes: make(map[string]*nodeState),
+		jobs:  make(map[string]*jobState),
+	}
+}
+
+// Name implements framework.Framework.
+func (m *MapReduce) Name() string { return m.cfg.Name }
+
+// Image implements framework.Framework.
+func (m *MapReduce) Image() string { return m.cfg.Image }
+
+// SlotsPerNode returns the per-node slot count.
+func (m *MapReduce) SlotsPerNode() int { return m.cfg.SlotsPerNode }
+
+// TotalSlots returns the cluster-wide slot count over enabled nodes.
+func (m *MapReduce) TotalSlots() int {
+	total := 0
+	for _, ns := range m.nodes {
+		if !ns.disabled {
+			total += m.cfg.SlotsPerNode
+		}
+	}
+	return total
+}
+
+// AddNode implements framework.Framework.
+func (m *MapReduce) AddNode(n framework.Node) {
+	if _, dup := m.nodes[n.ID]; dup {
+		panic(fmt.Sprintf("%v: %s", ErrNodeExists, n.ID))
+	}
+	if n.SpeedFactor <= 0 {
+		n.SpeedFactor = 1.0
+	}
+	m.nodes[n.ID] = &nodeState{node: n}
+	m.order = append(m.order, n.ID)
+	m.schedule()
+}
+
+// DisableNode implements framework.Framework.
+func (m *MapReduce) DisableNode(id string) error {
+	ns, ok := m.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	ns.disabled = true
+	return nil
+}
+
+// RemoveNode implements framework.Framework.
+func (m *MapReduce) RemoveNode(id string) error {
+	ns, ok := m.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	if ns.usedSlots > 0 {
+		return fmt.Errorf("%w: %s", ErrNodeBusy, id)
+	}
+	delete(m.nodes, id)
+	for i, nid := range m.order {
+		if nid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// FailNode implements framework.Framework. Tasks in flight on the
+// crashed node are lost and re-executed elsewhere; completed task output
+// survives (Hadoop's committed-task semantics).
+func (m *MapReduce) FailNode(id string) error {
+	if _, ok := m.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	for _, jid := range m.jobOrder {
+		js := m.jobs[jid]
+		for tid, tr := range js.tasks {
+			if tr.nodeID != id {
+				continue
+			}
+			tr.timer.Cancel()
+			delete(js.tasks, tid)
+			if tr.phase == phaseMap {
+				js.runningMaps--
+			} else {
+				js.runningReds--
+			}
+		}
+	}
+	delete(m.nodes, id)
+	for i, nid := range m.order {
+		if nid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.schedule()
+	return nil
+}
+
+// NumNodes implements framework.Framework.
+func (m *MapReduce) NumNodes() int { return len(m.nodes) }
+
+// FreeNodeIDs implements framework.Framework (fully idle enabled nodes).
+func (m *MapReduce) FreeNodeIDs() []string {
+	var out []string
+	for _, id := range m.order {
+		ns := m.nodes[id]
+		if ns.usedSlots == 0 && !ns.disabled {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IdleDisabledNodeIDs implements framework.Framework.
+func (m *MapReduce) IdleDisabledNodeIDs() []string {
+	var out []string
+	for _, id := range m.order {
+		ns := m.nodes[id]
+		if ns.usedSlots == 0 && ns.disabled {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Submit implements framework.Framework. MapReduce jobs must declare at
+// least one map task with positive work; reduce tasks are optional but
+// must carry positive work when present.
+func (m *MapReduce) Submit(j *framework.Job) error {
+	if j.ID == "" || j.MapTasks <= 0 || j.MapWork <= 0 {
+		return fmt.Errorf("%w: id=%q maps=%d mapwork=%g", ErrBadJob, j.ID, j.MapTasks, j.MapWork)
+	}
+	if j.ReduceTasks > 0 && j.ReduceWork <= 0 {
+		return fmt.Errorf("%w: %d reduces with work %g", ErrBadJob, j.ReduceTasks, j.ReduceWork)
+	}
+	if j.ReduceTasks < 0 {
+		return fmt.Errorf("%w: negative reduce count", ErrBadJob)
+	}
+	if _, dup := m.jobs[j.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrJobExists, j.ID)
+	}
+	j.State = framework.JobQueued
+	j.SubmittedAt = m.eng.Now()
+	j.Work = float64(j.MapTasks)*j.MapWork + float64(j.ReduceTasks)*j.ReduceWork
+	m.jobs[j.ID] = &jobState{job: j, active: true, tasks: make(map[int]*taskRun)}
+	m.jobOrder = append(m.jobOrder, j.ID)
+	m.schedule()
+	return nil
+}
+
+// Suspend implements framework.Framework. Running tasks are killed and
+// their in-progress work lost; completed task output is kept.
+func (m *MapReduce) Suspend(id string) error {
+	js, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrJobUnknown, id)
+	}
+	j := js.job
+	if j.State != framework.JobRunning && j.State != framework.JobQueued {
+		return fmt.Errorf("%w: %s is %v", ErrJobState, id, j.State)
+	}
+	for tid, tr := range js.tasks {
+		tr.timer.Cancel()
+		m.nodes[tr.nodeID].usedSlots--
+		delete(js.tasks, tid)
+	}
+	js.runningMaps, js.runningReds = 0, 0
+	js.active = false
+	j.State = framework.JobSuspended
+	j.Suspensions++
+	if m.cfg.Events.OnSuspend != nil {
+		m.cfg.Events.OnSuspend(j)
+	}
+	m.schedule()
+	return nil
+}
+
+// Resume implements framework.Framework.
+func (m *MapReduce) Resume(id string) error {
+	js, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrJobUnknown, id)
+	}
+	if js.job.State != framework.JobSuspended {
+		return fmt.Errorf("%w: %s is %v", ErrJobState, id, js.job.State)
+	}
+	js.job.State = framework.JobQueued
+	js.active = true
+	if m.cfg.Events.OnResume != nil {
+		m.cfg.Events.OnResume(js.job)
+	}
+	m.schedule()
+	return nil
+}
+
+// JobNodes implements framework.Framework: nodes currently running at
+// least one of the job's tasks.
+func (m *MapReduce) JobNodes(id string) ([]string, error) {
+	js, ok := m.jobs[id]
+	if !ok || js.job.State != framework.JobRunning {
+		return nil, fmt.Errorf("%w: %s is not running", ErrJobState, id)
+	}
+	seen := map[string]bool{}
+	for _, tr := range js.tasks {
+		seen[tr.nodeID] = true
+	}
+	out := make([]string, 0, len(seen))
+	for nid := range seen {
+		out = append(out, nid)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Progress implements framework.Framework: completed task work over
+// total task work (in-flight tasks count as incomplete, like Hadoop's
+// committed-task progress).
+func (m *MapReduce) Progress(id string) (float64, error) {
+	js, ok := m.jobs[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrJobUnknown, id)
+	}
+	return js.job.DoneWork / js.job.Work, nil
+}
+
+// Get implements framework.Framework.
+func (m *MapReduce) Get(id string) (*framework.Job, bool) {
+	js, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return js.job, true
+}
+
+// Running implements framework.Framework.
+func (m *MapReduce) Running() []*framework.Job {
+	var out []*framework.Job
+	for _, id := range m.jobOrder {
+		if j := m.jobs[id].job; j.State == framework.JobRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// QueuedJobs implements framework.Framework.
+func (m *MapReduce) QueuedJobs() []*framework.Job {
+	var out []*framework.Job
+	for _, id := range m.jobOrder {
+		if j := m.jobs[id].job; j.State == framework.JobQueued {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// freeSlotNode returns an enabled node with a spare slot, preferring the
+// least-loaded node (Hadoop spreads tasks), or "" when none exists.
+func (m *MapReduce) freeSlotNode() string {
+	best := ""
+	bestUsed := 0
+	for _, id := range m.order {
+		ns := m.nodes[id]
+		if ns.disabled || ns.usedSlots >= m.cfg.SlotsPerNode {
+			continue
+		}
+		if best == "" || ns.usedSlots < bestUsed {
+			best = id
+			bestUsed = ns.usedSlots
+		}
+	}
+	return best
+}
+
+// nextTaskFor returns the phase of the next runnable task for a job, or
+// -1 when the job has nothing ready (barrier or exhausted).
+func (js *jobState) nextReady() phase {
+	j := js.job
+	if js.completedMaps+js.runningMaps < j.MapTasks {
+		return phaseMap
+	}
+	if js.completedMaps == j.MapTasks && // barrier: all maps committed
+		js.completedReds+js.runningReds < j.ReduceTasks {
+		return phaseReduce
+	}
+	return -1
+}
+
+func (m *MapReduce) schedule() {
+	for {
+		assigned := false
+		for _, jid := range m.jobOrder {
+			js := m.jobs[jid]
+			if !js.active || js.job.State == framework.JobDone {
+				continue
+			}
+			ph := js.nextReady()
+			if ph == -1 {
+				continue
+			}
+			nodeID := m.freeSlotNode()
+			if nodeID == "" {
+				return // no slots anywhere; stop the sweep
+			}
+			m.launchTask(js, ph, nodeID)
+			assigned = true
+		}
+		if !assigned {
+			return
+		}
+	}
+}
+
+func (m *MapReduce) launchTask(js *jobState, ph phase, nodeID string) {
+	j := js.job
+	ns := m.nodes[nodeID]
+	ns.usedSlots++
+	work := j.MapWork
+	if ph == phaseReduce {
+		work = j.ReduceWork
+	}
+	if ph == phaseMap {
+		js.runningMaps++
+	} else {
+		js.runningReds++
+	}
+	if !j.Started {
+		j.Started = true
+		j.StartedAt = m.eng.Now()
+	}
+	if j.State == framework.JobQueued {
+		j.State = framework.JobRunning
+		if m.cfg.Events.OnStart != nil {
+			m.cfg.Events.OnStart(j)
+		}
+	}
+	tid := js.nextTask
+	js.nextTask++
+	tr := &taskRun{jobID: j.ID, phase: ph, nodeID: nodeID}
+	js.tasks[tid] = tr
+	exec := sim.Seconds(work / ns.node.SpeedFactor)
+	tr.timer = m.eng.After(exec, func() { m.finishTask(js, tid, ph, work) })
+}
+
+func (m *MapReduce) finishTask(js *jobState, tid int, ph phase, work float64) {
+	tr := js.tasks[tid]
+	delete(js.tasks, tid)
+	m.nodes[tr.nodeID].usedSlots--
+	j := js.job
+	j.DoneWork += work
+	if ph == phaseMap {
+		js.runningMaps--
+		js.completedMaps++
+	} else {
+		js.runningReds--
+		js.completedReds++
+	}
+	if js.completedMaps == j.MapTasks && js.completedReds == j.ReduceTasks {
+		j.State = framework.JobDone
+		j.FinishedAt = m.eng.Now()
+		js.active = false
+		if m.cfg.Events.OnFinish != nil {
+			m.cfg.Events.OnFinish(j)
+		}
+	}
+	m.schedule()
+}

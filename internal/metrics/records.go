@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"meryn/internal/sim"
+)
+
+// Placement says where an application's VMs came from — the three outcomes
+// of the paper's resource selection protocol.
+type Placement int
+
+// Placement values.
+const (
+	PlacementUnknown Placement = iota
+	PlacementLocal             // ran on the VC's own private VMs
+	PlacementVC                // ran on VMs obtained from another VC
+	PlacementCloud             // ran on leased public cloud VMs
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlacementLocal:
+		return "local-vm"
+	case PlacementVC:
+		return "vc-vm"
+	case PlacementCloud:
+		return "cloud-vm"
+	default:
+		return "unknown"
+	}
+}
+
+// AppRecord is the full accounting trail for one application, the unit of
+// Figures 6(a) and 6(b).
+type AppRecord struct {
+	ID        string
+	VC        string
+	NumVMs    int
+	Placement Placement
+	Suspended bool // true if this app was suspended at least once
+
+	SubmitTime sim.Time
+	StartTime  sim.Time // when execution actually began on the framework
+	EndTime    sim.Time // when results were available
+
+	Deadline sim.Time // absolute agreed deadline
+	Price    float64  // agreed price (units)
+	Penalty  float64  // delay penalty deducted (units)
+	Cost     float64  // provider-side cost of the VMs consumed (units)
+}
+
+// ExecTime is the measured execution duration.
+func (a *AppRecord) ExecTime() sim.Time { return a.EndTime - a.StartTime }
+
+// ProcessingTime is submission-to-start latency — the quantity of Table 1.
+func (a *AppRecord) ProcessingTime() sim.Time { return a.StartTime - a.SubmitTime }
+
+// TurnaroundTime is submission-to-completion.
+func (a *AppRecord) TurnaroundTime() sim.Time { return a.EndTime - a.SubmitTime }
+
+// Delay is how far past the deadline the app finished (0 if on time).
+func (a *AppRecord) Delay() sim.Time {
+	if a.EndTime <= a.Deadline {
+		return 0
+	}
+	return a.EndTime - a.Deadline
+}
+
+// MetDeadline reports whether the SLA deadline was satisfied.
+func (a *AppRecord) MetDeadline() bool { return a.Delay() == 0 }
+
+// Revenue is what the provider actually collects: price minus penalty,
+// floored at zero (the paper's N=1 example makes revenue exactly zero).
+func (a *AppRecord) Revenue() float64 {
+	r := a.Price - a.Penalty
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Profit is revenue minus provider cost.
+func (a *AppRecord) Profit() float64 { return a.Revenue() - a.Cost }
+
+// Ledger collects all application records of one simulation run.
+type Ledger struct {
+	records []*AppRecord
+	byID    map[string]*AppRecord
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{byID: make(map[string]*AppRecord)} }
+
+// Open creates and registers a record for an application.
+func (l *Ledger) Open(id string) *AppRecord {
+	if _, dup := l.byID[id]; dup {
+		panic(fmt.Sprintf("metrics: duplicate app record %q", id))
+	}
+	r := &AppRecord{ID: id}
+	l.records = append(l.records, r)
+	l.byID[id] = r
+	return r
+}
+
+// Get returns the record for id, or nil.
+func (l *Ledger) Get(id string) *AppRecord { return l.byID[id] }
+
+// All returns records in registration order.
+func (l *Ledger) All() []*AppRecord { return l.records }
+
+// ByVC returns the records belonging to the named virtual cluster.
+func (l *Ledger) ByVC(vc string) []*AppRecord {
+	var out []*AppRecord
+	for _, r := range l.records {
+		if r.VC == vc {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// VCs returns the sorted set of VC names present in the ledger.
+func (l *Ledger) VCs() []string {
+	seen := map[string]bool{}
+	for _, r := range l.records {
+		seen[r.VC] = true
+	}
+	var out []string
+	for vc := range seen {
+		out = append(out, vc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregate condenses a record set into the quantities the paper reports.
+type Aggregate struct {
+	N               int
+	MeanExecTime    float64 // seconds
+	MeanTurnaround  float64 // seconds
+	MeanProcessing  float64 // seconds
+	MeanCost        float64 // units
+	TotalCost       float64 // units
+	TotalRevenue    float64 // units
+	TotalProfit     float64 // units
+	DeadlinesMissed int
+	CompletionTime  float64 // seconds; max end time over the set
+	PlacementCounts map[Placement]int
+	SuspensionCount int
+}
+
+// Aggregate computes summary statistics over a record slice.
+func AggregateRecords(recs []*AppRecord) Aggregate {
+	agg := Aggregate{PlacementCounts: map[Placement]int{}}
+	agg.N = len(recs)
+	if len(recs) == 0 {
+		return agg
+	}
+	for _, r := range recs {
+		agg.MeanExecTime += sim.ToSeconds(r.ExecTime())
+		agg.MeanTurnaround += sim.ToSeconds(r.TurnaroundTime())
+		agg.MeanProcessing += sim.ToSeconds(r.ProcessingTime())
+		agg.MeanCost += r.Cost
+		agg.TotalCost += r.Cost
+		agg.TotalRevenue += r.Revenue()
+		agg.TotalProfit += r.Profit()
+		if !r.MetDeadline() {
+			agg.DeadlinesMissed++
+		}
+		if end := sim.ToSeconds(r.EndTime); end > agg.CompletionTime {
+			agg.CompletionTime = end
+		}
+		agg.PlacementCounts[r.Placement]++
+		if r.Suspended {
+			agg.SuspensionCount++
+		}
+	}
+	n := float64(len(recs))
+	agg.MeanExecTime /= n
+	agg.MeanTurnaround /= n
+	agg.MeanProcessing /= n
+	agg.MeanCost /= n
+	return agg
+}

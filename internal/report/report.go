@@ -1,0 +1,250 @@
+// Package report renders experiment outputs: fixed-width tables (the
+// paper's Table 1), ASCII line charts (Figures 5 and 6 as terminal
+// graphics), grouped bar comparisons and CSV export for external
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Chart renders step series as an ASCII line chart (the shape of the
+// paper's Figure 5).
+type Chart struct {
+	Title   string
+	Width   int // plot columns (default 72)
+	Height  int // plot rows (default 16)
+	Series  []*metrics.Series
+	Symbols []rune // one per series; defaults to '*', '+', 'o', 'x'
+	Horizon sim.Time
+	YLabel  string
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	symbols := c.Symbols
+	if len(symbols) == 0 {
+		symbols = []rune{'*', '+', 'o', 'x'}
+	}
+	horizon := c.Horizon
+	if horizon == 0 {
+		for _, s := range c.Series {
+			if pts := s.Points(); len(pts) > 0 {
+				if at := pts[len(pts)-1].At; at > horizon {
+					horizon = at
+				}
+			}
+		}
+	}
+	if horizon == 0 {
+		horizon = sim.Seconds(1)
+	}
+	maxY := 0.0
+	for _, s := range c.Series {
+		if m := s.Max(); m > maxY {
+			maxY = m
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	step := horizon / sim.Time(width)
+	if step <= 0 {
+		step = 1
+	}
+	for si, s := range c.Series {
+		sym := symbols[si%len(symbols)]
+		for col := 0; col < width; col++ {
+			v := s.At(sim.Time(col) * step)
+			row := int(v / maxY * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			r := height - 1 - row
+			if grid[r][col] == ' ' || grid[r][col] == sym {
+				grid[r][col] = sym
+			} else {
+				grid[r][col] = '#' // overlap marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, rowRunes := range grid {
+		yVal := maxY * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%8.1f |%s\n", yVal, string(rowRunes))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  0%*s\n", "", width-1, fmt.Sprintf("%.0fs", sim.ToSeconds(horizon)))
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", symbols[si%len(symbols)], s.Name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  y: %s\n", "", c.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarGroup renders grouped value comparisons (the shape of Figure 6).
+type BarGroup struct {
+	Title  string
+	Unit   string
+	Groups []Bar
+	Width  int // bar columns (default 40)
+}
+
+// Bar is one labelled pair of values.
+type Bar struct {
+	Label  string
+	Meryn  float64
+	Static float64
+}
+
+// Render writes the bars to w.
+func (g *BarGroup) Render(w io.Writer) error {
+	width := g.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	for _, b := range g.Groups {
+		if b.Meryn > maxV {
+			maxV = b.Meryn
+		}
+		if b.Static > maxV {
+			maxV = b.Static
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, b := range g.Groups {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", g.Title)
+	}
+	bar := func(label, tag string, v float64) {
+		n := int(v / maxV * float64(width))
+		fmt.Fprintf(&sb, "%-*s %-6s |%s %.1f %s\n", labelW, label, tag,
+			strings.Repeat("█", n), v, g.Unit)
+	}
+	for _, b := range g.Groups {
+		bar(b.Label, "meryn", b.Meryn)
+		bar("", "static", b.Static)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SeriesCSV writes step series to w as CSV with a shared time grid.
+func SeriesCSV(w io.Writer, step sim.Time, series ...*metrics.Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var horizon sim.Time
+	for _, s := range series {
+		if pts := s.Points(); len(pts) > 0 {
+			if at := pts[len(pts)-1].At; at > horizon {
+				horizon = at
+			}
+		}
+	}
+	header := []string{"time_s"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for t := sim.Time(0); t <= horizon; t += step {
+		row := []string{fmt.Sprintf("%.0f", sim.ToSeconds(t))}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%g", s.At(t)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "Table 1: Processing Time Measurement",
+		Headers: []string{"Case", "Paper [s]", "Measured [s]"},
+	}
+	tb.AddRow("local-vm", "7~15", "7.2~14.8")
+	tb.AddRow("cloud-vm", "60~84", "59.5~83.9")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Case", "local-vm", "cloud-vm", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	s1 := metrics.NewSeries("Private VMs")
+	s1.Record(0, 10)
+	s1.Record(100*time.Second, 50)
+	s1.Record(200*time.Second, 0)
+	s2 := metrics.NewSeries("Cloud VMs")
+	s2.Record(50*time.Second, 15)
+	s2.Record(150*time.Second, 0)
+
+	c := Chart{Title: "Used VMs", Series: []*metrics.Series{s1, s2}, YLabel: "VMs"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Used VMs", "Private VMs", "Cloud VMs", "y: VMs", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The top axis label must be the series max (50).
+	if !strings.Contains(out, "50.0") {
+		t.Fatalf("chart missing max label:\n%s", out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := Chart{Series: []*metrics.Series{metrics.NewSeries("empty")}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output for empty series")
+	}
+}
+
+func TestBarGroupRender(t *testing.T) {
+	g := BarGroup{
+		Title: "Cost Comparison",
+		Unit:  "units",
+		Groups: []Bar{
+			{Label: "Workload (x100)", Meryn: 2552, Static: 2910},
+			{Label: "VC1 applis", Meryn: 4174, Static: 4890},
+		},
+	}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Cost Comparison", "meryn", "static", "4174", "4890"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s1 := metrics.NewSeries("private")
+	s1.Record(0, 5)
+	s1.Record(10*time.Second, 7)
+	s2 := metrics.NewSeries("cloud")
+	s2.Record(5*time.Second, 2)
+
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, 5*time.Second, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_s,private,cloud" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,5,0" || lines[2] != "5,5,2" || lines[3] != "10,7,2" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestSeriesCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, sim.Seconds(1)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("expected no output for no series")
+	}
+}

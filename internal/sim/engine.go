@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock through a time-ordered event queue.
+// Events scheduled for the same instant fire in scheduling order (stable
+// FIFO tie-breaking), which makes simulations fully deterministic given
+// deterministic event handlers. All Meryn substrates (VM manager, cloud
+// providers, frameworks, managers) run on top of one Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the
+// simulation start. The zero Time is the simulation start.
+type Time = time.Duration
+
+// Forever is a convenient horizon for Run when the simulation should be
+// driven until the event queue drains.
+const Forever Time = math.MaxInt64
+
+// Event is a scheduled callback. The callback receives the engine so that
+// handlers can schedule follow-up events.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	canc *bool // optional cancellation flag
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; run independent simulations in separate Engines
+// (see exp.Pool for parallel sweeps).
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an Engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay. A negative delay is an error in the
+// caller; it is clamped to zero so the event fires at the current instant
+// (after already-queued events for that instant).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the present.
+func (e *Engine) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: At called with nil func")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Timer is a cancellable scheduled event.
+type Timer struct {
+	cancelled *bool
+}
+
+// Cancel prevents the timer's callback from firing. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.cancelled != nil {
+		*t.cancelled = true
+	}
+}
+
+// After schedules fn like Schedule but returns a Timer that can cancel it.
+func (e *Engine) After(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	cancelled := false
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn, canc: &cancelled})
+	return &Timer{cancelled: &cancelled}
+}
+
+// Every schedules fn to run periodically with the given period, starting
+// after one period. The returned Timer cancels the series. A non-positive
+// period panics: it would live-lock the simulation.
+func (e *Engine) Every(period Time, fn func()) *Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	cancelled := false
+	var tick func()
+	tick = func() {
+		fn()
+		if !cancelled {
+			e.seq++
+			heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, canc: &cancelled})
+		}
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, canc: &cancelled})
+	return &Timer{cancelled: &cancelled}
+}
+
+// Stop aborts Run after the current event handler returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in time order until the queue is empty, the
+// horizon is passed, or Stop is called. It returns the time of the last
+// dispatched event (or the current time if none fired). Events scheduled
+// exactly at the horizon still fire.
+func (e *Engine) Run(until Time) Time {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.canc != nil && *ev.canc {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if !e.stopped && until != Forever && e.now < until {
+		// Advance the clock to the horizon (standard DES semantics):
+		// callers that intervene between Run calls — e.g. suspending a
+		// job "at time t" — must observe Now() == t even when the next
+		// queued event lies beyond the horizon.
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll drives the simulation until no events remain.
+func (e *Engine) RunAll() Time { return e.Run(Forever) }
+
+// Step dispatches exactly one (non-cancelled) event and reports whether
+// one was found. It lets callers interleave simulation progress with
+// external termination conditions — e.g. "run until the workload
+// settles" in the presence of self-renewing events like crash injection.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canc != nil && *ev.canc {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Seconds converts a float64 number of seconds to virtual Time. It is the
+// conversion used throughout the Meryn model, where paper quantities are
+// expressed in seconds. Rounding (not truncation) makes
+// Seconds(ToSeconds(t)) == t for all simulation-scale t.
+func Seconds(s float64) Time { return Time(math.Round(s * float64(time.Second))) }
+
+// ToSeconds converts virtual Time to float64 seconds.
+func ToSeconds(t Time) float64 { return t.Seconds() }

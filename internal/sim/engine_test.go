@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var events []string
+	e.Schedule(time.Second, func() {
+		events = append(events, "a")
+		e.Schedule(time.Second, func() { events = append(events, "c") })
+		e.Schedule(0, func() { events = append(events, "b") })
+	})
+	e.RunAll()
+	if len(events) != 3 || events[0] != "a" || events[1] != "b" || events[2] != "c" {
+		t.Fatalf("events = %v, want [a b c]", events)
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5*time.Second, func() {
+		e.Schedule(-time.Hour, func() { fired = true })
+	})
+	e.RunAll()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s (clamped)", e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	e.Schedule(3*time.Second, func() { fired = append(fired, 3) })
+	e.Run(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v within horizon 2s, want exactly events 1,2", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after RunAll, want 3 events", fired)
+	}
+}
+
+func TestRunAdvancesToHorizonWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(10 * time.Second)
+	if e.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want horizon 10s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 2 {
+		t.Fatalf("count = %d after Stop, want 2", count)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(time.Second, func() { fired = true })
+	tm.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	// Cancelling again must be a no-op.
+	tm.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tm *Timer
+	tm = e.Every(10*time.Second, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			tm.Cancel()
+		}
+	})
+	e.Run(5 * time.Minute)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	for i, at := range ticks {
+		want := time.Duration(i+1) * 10 * time.Second
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewEngine().Every(0, func() {})
+}
+
+func TestAtNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	NewEngine().At(0, nil)
+}
+
+func TestFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.RunAll()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 1, 1550, 0.5, 84} {
+		if got := ToSeconds(Seconds(s)); got != s {
+			t.Fatalf("ToSeconds(Seconds(%v)) = %v", s, got)
+		}
+	}
+}
+
+// Property: events always dispatch in nondecreasing time order, whatever
+// the insertion order.
+func TestPropertyDispatchOrderSorted(t *testing.T) {
+	f := func(delays []uint32) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d % 1000000)
+			e.Schedule(d*time.Microsecond, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every scheduled event fires exactly once under RunAll.
+func TestPropertyAllEventsFireOnce(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		count := 0
+		for _, d := range delays {
+			e.Schedule(Time(d)*time.Millisecond, func() { count++ })
+		}
+		e.RunAll()
+		return count == len(delays) && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, "vmm")
+	b := NewRNG(42, "vmm")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed+name produced diverging streams")
+		}
+	}
+}
+
+func TestRNGStreamIndependence(t *testing.T) {
+	a := NewRNG(42, "vmm")
+	b := NewRNG(42, "cloud")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names collide too often: %d/64", same)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	a := NewRNG(1, "root").Fork("child")
+	b := NewRNG(1, "root").Fork("child")
+	if a.Int63() != b.Int63() {
+		t.Fatal("Fork is not deterministic")
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(7, "range")
+	for i := 0; i < 1000; i++ {
+		v := r.Range(7, 15)
+		if v < 7 || v > 15 {
+			t.Fatalf("Range(7,15) = %v out of bounds", v)
+		}
+	}
+	if r.Range(3, 3) != 3 {
+		t.Fatal("degenerate range must return lo")
+	}
+}
+
+func TestRNGRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(hi<lo) did not panic")
+		}
+	}()
+	NewRNG(1, "x").Range(5, 4)
+}
+
+// Property: Range always stays within bounds for arbitrary seeds/bounds.
+func TestPropertyRNGRangeBounds(t *testing.T) {
+	f := func(seed int64, lo float64, span uint16) bool {
+		if lo != lo || lo > 1e100 || lo < -1e100 { // reject NaN/huge
+			return true
+		}
+		hi := lo + float64(span)
+		v := NewRNG(seed, "p").Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j)*time.Millisecond, func() {})
+		}
+		e.RunAll()
+	}
+}

@@ -1,0 +1,33 @@
+package sla
+
+import (
+	"testing"
+
+	"meryn/internal/sim"
+)
+
+// BenchmarkNegotiate measures one multi-offer negotiation round trip.
+func BenchmarkNegotiate(b *testing.B) {
+	b.ReportAllocs()
+	p := &Provider{
+		Model:      func(n int) sim.Time { return sim.Seconds(1670 / float64(n)) },
+		Processing: sim.Seconds(84),
+		VMPrice:    4,
+		PenaltyN:   1,
+		MinVMs:     1,
+		MaxVMs:     8,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Negotiate("app", p, DeadlineBound{Deadline: sim.Seconds(600)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPenalty measures Eq. 3 evaluation.
+func BenchmarkPenalty(b *testing.B) {
+	c := &Contract{NumVMs: 4, VMPrice: 4, PenaltyN: 2, Price: 10000, MaxPenaltyFrac: 0.5}
+	for i := 0; i < b.N; i++ {
+		_ = c.PenaltyFor(sim.Seconds(float64(i % 1000)))
+	}
+}

@@ -1,0 +1,83 @@
+package sla
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"meryn/internal/sim"
+)
+
+// contractJSON is the wire form of a Contract: durations in seconds, the
+// unit users reason in.
+type contractJSON struct {
+	AppID          string  `json:"app_id"`
+	NumVMs         int     `json:"num_vms"`
+	DeadlineS      float64 `json:"deadline_s"`
+	Price          float64 `json:"price_units"`
+	VMPrice        float64 `json:"vm_price_units_per_s"`
+	ExecEstS       float64 `json:"exec_estimate_s"`
+	PenaltyN       float64 `json:"penalty_n"`
+	MaxPenaltyFrac float64 `json:"max_penalty_frac,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *Contract) MarshalJSON() ([]byte, error) {
+	return json.Marshal(contractJSON{
+		AppID:          c.AppID,
+		NumVMs:         c.NumVMs,
+		DeadlineS:      sim.ToSeconds(c.Deadline),
+		Price:          c.Price,
+		VMPrice:        c.VMPrice,
+		ExecEstS:       sim.ToSeconds(c.ExecEst),
+		PenaltyN:       c.PenaltyN,
+		MaxPenaltyFrac: c.MaxPenaltyFrac,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with validation: a contract
+// must name an application, dedicate at least one VM and carry a
+// positive penalty divisor (Eq. 3 requires N > 0).
+func (c *Contract) UnmarshalJSON(data []byte) error {
+	var w contractJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sla: decoding contract: %w", err)
+	}
+	if w.AppID == "" {
+		return fmt.Errorf("sla: contract without app_id")
+	}
+	if w.NumVMs < 1 {
+		return fmt.Errorf("sla: contract for %q dedicates %d VMs", w.AppID, w.NumVMs)
+	}
+	if w.PenaltyN <= 0 {
+		return fmt.Errorf("sla: contract for %q has penalty_n %g (must be > 0)", w.AppID, w.PenaltyN)
+	}
+	if w.DeadlineS <= 0 || w.Price < 0 {
+		return fmt.Errorf("sla: contract for %q has invalid terms", w.AppID)
+	}
+	c.AppID = w.AppID
+	c.NumVMs = w.NumVMs
+	c.Deadline = sim.Seconds(w.DeadlineS)
+	c.Price = w.Price
+	c.VMPrice = w.VMPrice
+	c.ExecEst = sim.Seconds(w.ExecEstS)
+	c.PenaltyN = w.PenaltyN
+	c.MaxPenaltyFrac = w.MaxPenaltyFrac
+	return nil
+}
+
+// WriteContract serializes a contract to w as JSON.
+func WriteContract(w io.Writer, c *Contract) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadContract parses a contract from r.
+func ReadContract(r io.Reader) (*Contract, error) {
+	var c Contract
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

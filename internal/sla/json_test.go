@@ -1,0 +1,84 @@
+package sla
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"meryn/internal/sim"
+)
+
+func sampleContract() *Contract {
+	return &Contract{
+		AppID:          "app-1",
+		NumVMs:         2,
+		Deadline:       sim.Seconds(1754),
+		Price:          6680,
+		VMPrice:        4,
+		ExecEst:        sim.Seconds(1670),
+		PenaltyN:       2,
+		MaxPenaltyFrac: 0.5,
+	}
+}
+
+func TestContractJSONRoundTrip(t *testing.T) {
+	orig := sampleContract()
+	var buf bytes.Buffer
+	if err := WriteContract(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"deadline_s": 1754`) {
+		t.Fatalf("wire form not in seconds:\n%s", buf.String())
+	}
+	got, err := ReadContract(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *orig {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestContractJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"no app":    `{"num_vms":1,"deadline_s":10,"penalty_n":1}`,
+		"zero vms":  `{"app_id":"a","num_vms":0,"deadline_s":10,"penalty_n":1}`,
+		"bad n":     `{"app_id":"a","num_vms":1,"deadline_s":10,"penalty_n":0}`,
+		"bad terms": `{"app_id":"a","num_vms":1,"deadline_s":-5,"penalty_n":1}`,
+		"not json":  `{`,
+	}
+	for name, in := range cases {
+		if _, err := ReadContract(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %q: want error", name)
+		}
+	}
+}
+
+// Property: negotiated contracts survive serialization losslessly.
+func TestPropertyContractRoundTrip(t *testing.T) {
+	f := func(execSec uint16, vms uint8) bool {
+		exec := float64(execSec%5000) + 1
+		p := &Provider{
+			Model:      func(n int) sim.Time { return sim.Seconds(exec / float64(n)) },
+			Processing: sim.Seconds(84),
+			VMPrice:    4,
+			PenaltyN:   2,
+			MinVMs:     int(vms%4) + 1,
+			MaxVMs:     int(vms%4) + 1,
+		}
+		c, err := Negotiate("x", p, AcceptFirst{})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteContract(&buf, c); err != nil {
+			return false
+		}
+		got, err := ReadContract(&buf)
+		return err == nil && *got == *c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package sla
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"meryn/internal/sim"
+)
+
+func TestPriceEquation(t *testing.T) {
+	// Paper values: exec 1670 s, 1 VM, VM price 2 units/s -> 3340 units.
+	got := Price(sim.Seconds(1670), 1, 2)
+	if got != 3340 {
+		t.Fatalf("Price = %v, want 3340", got)
+	}
+	if Price(sim.Seconds(100), 4, 0.5) != 200 {
+		t.Fatal("Price scaling wrong")
+	}
+}
+
+func TestDeadlineEquation(t *testing.T) {
+	// Paper: exec = cloud exec 1670 s, processing = worst case 84 s.
+	if d := Deadline(sim.Seconds(1670), sim.Seconds(84)); d != sim.Seconds(1754) {
+		t.Fatalf("Deadline = %v, want 1754 s", d)
+	}
+}
+
+func TestDelayPenaltyPaperExamples(t *testing.T) {
+	// Paper's worked example: delay == execution time. With N=1 the
+	// penalty equals the price; with N=2 it is half the price.
+	exec := sim.Seconds(1000)
+	price := Price(exec, 1, 2) // 2000
+	if p := DelayPenalty(exec, 1, 2, 1); p != price {
+		t.Fatalf("N=1 penalty = %v, want price %v", p, price)
+	}
+	if p := DelayPenalty(exec, 1, 2, 2); p != price/2 {
+		t.Fatalf("N=2 penalty = %v, want half price %v", p, price/2)
+	}
+}
+
+func TestDelayPenaltyZeroForOnTime(t *testing.T) {
+	if DelayPenalty(0, 1, 2, 2) != 0 {
+		t.Fatal("on-time penalty must be 0")
+	}
+	if DelayPenalty(-time.Second, 1, 2, 2) != 0 {
+		t.Fatal("negative delay penalty must be 0")
+	}
+}
+
+func TestDelayPenaltyBadNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N=0 did not panic")
+		}
+	}()
+	DelayPenalty(time.Second, 1, 2, 0)
+}
+
+func TestContractPenaltyBound(t *testing.T) {
+	c := &Contract{NumVMs: 1, VMPrice: 2, PenaltyN: 1, Price: 1000, MaxPenaltyFrac: 0.5}
+	// Unbounded penalty would be 2000; bound caps it at 500.
+	if p := c.PenaltyFor(sim.Seconds(1000)); p != 500 {
+		t.Fatalf("bounded penalty = %v, want 500", p)
+	}
+	c.MaxPenaltyFrac = 0
+	if p := c.PenaltyFor(sim.Seconds(1000)); p != 2000 {
+		t.Fatalf("unbounded penalty = %v, want 2000", p)
+	}
+}
+
+func TestAbsoluteDeadline(t *testing.T) {
+	c := &Contract{Deadline: sim.Seconds(1754)}
+	if d := c.AbsoluteDeadline(sim.Seconds(100)); d != sim.Seconds(1854) {
+		t.Fatalf("AbsoluteDeadline = %v", d)
+	}
+}
+
+func paperProvider() *Provider {
+	// Single-VM batch app: exec 1670 s (cloud-calibrated estimate),
+	// processing 84 s worst case, VM price 2.
+	return &Provider{
+		Model:      func(n int) sim.Time { return sim.Seconds(1670 / float64(n)) },
+		Processing: sim.Seconds(84),
+		VMPrice:    2,
+		PenaltyN:   2,
+		MinVMs:     1,
+		MaxVMs:     4,
+	}
+}
+
+func TestProviderOffers(t *testing.T) {
+	offers := paperProvider().Offers()
+	if len(offers) != 4 {
+		t.Fatalf("offers = %d, want 4", len(offers))
+	}
+	if offers[0].NumVMs != 1 || offers[0].Deadline != sim.Seconds(1754) || offers[0].Price != 3340 {
+		t.Fatalf("offer[0] = %+v", offers[0])
+	}
+	// Perfect-scaling model: same price at every VM count, shorter
+	// deadline with more VMs.
+	for i := 1; i < len(offers); i++ {
+		if offers[i].Deadline >= offers[i-1].Deadline {
+			t.Fatal("deadlines must shrink with more VMs")
+		}
+		if math.Abs(offers[i].Price-3340) > 1e-6 {
+			t.Fatalf("price at n=%d is %v", offers[i].NumVMs, offers[i].Price)
+		}
+	}
+}
+
+func TestProviderOffersDefaults(t *testing.T) {
+	p := &Provider{Model: func(int) sim.Time { return sim.Seconds(10) }, VMPrice: 1}
+	offers := p.Offers()
+	if len(offers) != 1 || offers[0].NumVMs != 1 {
+		t.Fatalf("default offers = %+v", offers)
+	}
+}
+
+func TestOfferForDeadline(t *testing.T) {
+	p := paperProvider()
+	// 1000 s deadline requires at least 2 VMs (1670/2+84 = 919).
+	o, ok := p.OfferForDeadline(sim.Seconds(1000))
+	if !ok || o.NumVMs != 2 {
+		t.Fatalf("offer = %+v ok=%v, want n=2", o, ok)
+	}
+	if _, ok := p.OfferForDeadline(sim.Seconds(10)); ok {
+		t.Fatal("impossible deadline must not produce an offer")
+	}
+}
+
+func TestOfferForPrice(t *testing.T) {
+	p := paperProvider()
+	o, ok := p.OfferForPrice(3340)
+	if !ok {
+		t.Fatal("budget equal to price must be accepted")
+	}
+	// All offers cost 3340; fastest one (n=4) wins.
+	if o.NumVMs != 4 {
+		t.Fatalf("offer = %+v, want n=4 (fastest within budget)", o)
+	}
+	if _, ok := p.OfferForPrice(1); ok {
+		t.Fatal("impossible budget must not produce an offer")
+	}
+}
+
+func TestNegotiateAcceptFirst(t *testing.T) {
+	c, err := Negotiate("app-1", paperProvider(), AcceptFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AppID != "app-1" || c.NumVMs != 1 {
+		t.Fatalf("contract = %+v", c)
+	}
+	if c.Deadline != sim.Seconds(1754) || c.Price != 3340 {
+		t.Fatalf("contract terms = %+v", c)
+	}
+	if c.PenaltyN != 2 {
+		t.Fatalf("PenaltyN = %v", c.PenaltyN)
+	}
+	if c.ExecEst != sim.Seconds(1670) {
+		t.Fatalf("ExecEst = %v", c.ExecEst)
+	}
+}
+
+func TestNegotiatePenaltyNDefault(t *testing.T) {
+	p := paperProvider()
+	p.PenaltyN = 0
+	c, err := Negotiate("a", p, AcceptFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PenaltyN != 2 {
+		t.Fatalf("default PenaltyN = %v, want 2", c.PenaltyN)
+	}
+}
+
+func TestNegotiateDeadlineBound(t *testing.T) {
+	c, err := Negotiate("a", paperProvider(), DeadlineBound{Deadline: sim.Seconds(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVMs != 2 || c.Deadline > sim.Seconds(1000) {
+		t.Fatalf("contract = %+v", c)
+	}
+}
+
+func TestNegotiateBudgetBound(t *testing.T) {
+	c, err := Negotiate("a", paperProvider(), BudgetBound{Budget: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Price > 4000 {
+		t.Fatalf("price = %v exceeds budget", c.Price)
+	}
+}
+
+func TestNegotiateImpossibleBudgetFails(t *testing.T) {
+	_, err := Negotiate("a", paperProvider(), BudgetBound{Budget: 1})
+	if !errors.Is(err, ErrNoAgreement) {
+		t.Fatalf("err = %v, want ErrNoAgreement", err)
+	}
+}
+
+func TestNegotiatePickyConverges(t *testing.T) {
+	// Initial deadline 500 s is impossible (min is 1670/4+84 ≈ 501.5);
+	// after relaxation rounds the user accepts.
+	c, err := Negotiate("a", paperProvider(), Picky{Budget: 5000, Deadline: sim.Seconds(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Price > 5000 {
+		t.Fatalf("price = %v", c.Price)
+	}
+}
+
+type emptyUser struct{}
+
+func (emptyUser) Respond(int, []Offer) Response { return Response{} }
+
+func TestNegotiateEmptyResponseErrors(t *testing.T) {
+	if _, err := Negotiate("a", paperProvider(), emptyUser{}); err == nil {
+		t.Fatal("empty response must error")
+	}
+}
+
+// Property: penalty is monotone nondecreasing in delay and nonincreasing
+// in N, and never negative.
+func TestPropertyPenaltyMonotonicity(t *testing.T) {
+	f := func(d1, d2 uint32, n1, n2 uint8) bool {
+		delayA := sim.Seconds(float64(d1 % 100000))
+		delayB := sim.Seconds(float64(d2 % 100000))
+		if delayA > delayB {
+			delayA, delayB = delayB, delayA
+		}
+		nA := float64(n1%10) + 1
+		nB := float64(n2%10) + 1
+		if nA > nB {
+			nA, nB = nB, nA
+		}
+		// Monotone in delay (fixed N).
+		if DelayPenalty(delayA, 1, 2, nA) > DelayPenalty(delayB, 1, 2, nA) {
+			return false
+		}
+		// Anti-monotone in N (fixed delay).
+		if DelayPenalty(delayB, 1, 2, nA) < DelayPenalty(delayB, 1, 2, nB) {
+			return false
+		}
+		return DelayPenalty(delayA, 1, 2, nA) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any contract produced by negotiation with any of the stock
+// strategies has positive price, positive deadline, and N > 0.
+func TestPropertyNegotiatedContractsWellFormed(t *testing.T) {
+	f := func(execSec uint16, vmPriceTenths uint8, strat uint8) bool {
+		exec := float64(execSec%5000) + 1
+		price := float64(vmPriceTenths%40)/10 + 0.1
+		p := &Provider{
+			Model:      func(n int) sim.Time { return sim.Seconds(exec / float64(n)) },
+			Processing: sim.Seconds(84),
+			VMPrice:    price,
+			PenaltyN:   2,
+			MinVMs:     1,
+			MaxVMs:     4,
+		}
+		var u User
+		switch strat % 3 {
+		case 0:
+			u = AcceptFirst{}
+		case 1:
+			u = AcceptCheapest{}
+		default:
+			u = DeadlineBound{Deadline: sim.Seconds(exec + 84)}
+		}
+		c, err := Negotiate("x", p, u)
+		if err != nil {
+			return false
+		}
+		return c.Price > 0 && c.Deadline > 0 && c.PenaltyN > 0 && c.NumVMs >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package stats provides probability distributions, online summary
+// statistics and stochastic processes used by the Meryn simulation
+// substrates (operation latencies, execution-time noise, market prices).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meryn/internal/sim"
+)
+
+// Dist is a real-valued probability distribution sampled with an explicit
+// RNG stream so components stay deterministic and independent.
+type Dist interface {
+	// Sample draws one value.
+	Sample(r *sim.RNG) float64
+	// Mean returns the distribution's expected value.
+	Mean() float64
+	// String describes the distribution for reports and logs.
+	String() string
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*sim.RNG) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi]. The paper's
+// measured latency ranges (Table 1, e.g. "7~15 s") are modelled as
+// uniform draws over the reported interval.
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *sim.RNG) float64 { return r.Range(u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Normal is a Gaussian distribution truncated at Min (values below Min are
+// clamped, keeping latencies physical).
+type Normal struct {
+	Mu, Sigma float64
+	Min       float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *sim.RNG) float64 {
+	v := n.Mu + r.NormFloat64()*n.Sigma
+	if v < n.Min {
+		v = n.Min
+	}
+	return v
+}
+
+// Mean implements Dist. The truncation bias is ignored; callers use Normal
+// with Min several sigmas below Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(%g,%g)", n.Mu, n.Sigma) }
+
+// Exponential has rate 1/MeanV, clamped below at zero by construction.
+type Exponential struct{ MeanV float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *sim.RNG) float64 { return r.ExpFloat64() * e.MeanV }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanV }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(mean=%g)", e.MeanV) }
+
+// Empirical samples uniformly from a fixed set of observed values, a
+// simple bootstrap for replaying measured latencies.
+type Empirical struct{ Values []float64 }
+
+// Sample implements Dist. Sampling an empty Empirical panics: it indicates
+// a configuration bug.
+func (e Empirical) Sample(r *sim.RNG) float64 {
+	if len(e.Values) == 0 {
+		panic("stats: Sample on empty Empirical distribution")
+	}
+	return e.Values[r.Intn(len(e.Values))]
+}
+
+// Mean implements Dist.
+func (e Empirical) Mean() float64 {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range e.Values {
+		s += v
+	}
+	return s / float64(len(e.Values))
+}
+
+func (e Empirical) String() string { return fmt.Sprintf("empirical(n=%d)", len(e.Values)) }
+
+// Pareto is a bounded Pareto distribution, used by the heavy-tailed
+// workload generator (datacenter job sizes are famously heavy-tailed).
+type Pareto struct {
+	Alpha float64 // shape; > 0
+	XMin  float64 // scale; > 0
+	XMax  float64 // truncation bound; >= XMin (0 means unbounded)
+}
+
+// Sample implements Dist using inverse-CDF sampling.
+func (p Pareto) Sample(r *sim.RNG) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := p.XMin / math.Pow(1-u, 1/p.Alpha)
+	if p.XMax > 0 && v > p.XMax {
+		v = p.XMax
+	}
+	return v
+}
+
+// Mean implements Dist (unbounded Pareto mean; infinite for Alpha <= 1).
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.XMin / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("pareto(alpha=%g,xmin=%g,xmax=%g)", p.Alpha, p.XMin, p.XMax)
+}
+
+// Summary accumulates values and reports order statistics. It keeps all
+// samples; simulation-scale sample counts (thousands) make this cheap and
+// exact, which matters when reproducing paper tables.
+type Summary struct {
+	values []float64
+	sorted bool
+	sum    float64
+	sumSq  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 {
+	n := float64(len(s.values))
+	if n == 0 {
+		return 0
+	}
+	m := s.sum / n
+	v := s.sumSq/n - m*m
+	if v < 0 {
+		v = 0 // numeric guard
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 for empty).
+func (s *Summary) Min() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[0]
+}
+
+// Max returns the largest observation (0 for empty).
+func (s *Summary) Max() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Sum returns the running total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation.
+func (s *Summary) Percentile(p float64) float64 {
+	s.ensureSorted()
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"meryn/internal/sim"
+)
+
+func rng() *sim.RNG { return sim.NewRNG(42, "stats-test") }
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 84}
+	r := rng()
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 84 {
+			t.Fatal("Constant must always return V")
+		}
+	}
+	if d.Mean() != 84 {
+		t.Fatal("Constant mean mismatch")
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	d := Uniform{Lo: 7, Hi: 15}
+	r := rng()
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		v := d.Sample(r)
+		if v < 7 || v > 15 {
+			t.Fatalf("uniform sample %v out of [7,15]", v)
+		}
+		s.Add(v)
+	}
+	if math.Abs(s.Mean()-11) > 0.1 {
+		t.Fatalf("uniform(7,15) sample mean %v, want ~11", s.Mean())
+	}
+	if d.Mean() != 11 {
+		t.Fatalf("Mean() = %v, want 11", d.Mean())
+	}
+}
+
+func TestNormalClampsAtMin(t *testing.T) {
+	d := Normal{Mu: 1, Sigma: 10, Min: 0}
+	r := rng()
+	for i := 0; i < 5000; i++ {
+		if v := d.Sample(r); v < 0 {
+			t.Fatalf("normal sample %v below Min", v)
+		}
+	}
+}
+
+func TestNormalSampleMean(t *testing.T) {
+	d := Normal{Mu: 100, Sigma: 5, Min: 0}
+	r := rng()
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		s.Add(d.Sample(r))
+	}
+	if math.Abs(s.Mean()-100) > 0.5 {
+		t.Fatalf("normal(100,5) sample mean %v", s.Mean())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanV: 30}
+	r := rng()
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		v := d.Sample(r)
+		if v < 0 {
+			t.Fatalf("exponential sample %v negative", v)
+		}
+		s.Add(v)
+	}
+	if math.Abs(s.Mean()-30) > 1.5 {
+		t.Fatalf("exp(30) sample mean %v", s.Mean())
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	d := Empirical{Values: []float64{1, 2, 3}}
+	r := rng()
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		v := d.Sample(r)
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("empirical sample %v not in set", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("empirical did not cover all values: %v", seen)
+	}
+	if d.Mean() != 2 {
+		t.Fatalf("empirical mean = %v, want 2", d.Mean())
+	}
+}
+
+func TestEmpiricalEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Empirical.Sample did not panic")
+		}
+	}()
+	Empirical{}.Sample(rng())
+}
+
+func TestParetoBounds(t *testing.T) {
+	d := Pareto{Alpha: 1.5, XMin: 10, XMax: 1000}
+	r := rng()
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 10 || v > 1000 {
+			t.Fatalf("pareto sample %v out of [10,1000]", v)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	if m := (Pareto{Alpha: 2, XMin: 10}).Mean(); m != 20 {
+		t.Fatalf("pareto(2,10) mean = %v, want 20", m)
+	}
+	if m := (Pareto{Alpha: 1, XMin: 10}).Mean(); !math.IsInf(m, 1) {
+		t.Fatalf("pareto(1,10) mean = %v, want +Inf", m)
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Fatalf("P50 = %v, want 3", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("P0 = %v, want 1", p)
+	}
+	if p := s.Percentile(100); p != 5 {
+		t.Fatalf("P100 = %v, want 5", p)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std()-want) > 1e-9 {
+		t.Fatalf("Std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary must report zeros")
+	}
+}
+
+func TestSummaryAddAfterPercentile(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1) // must re-sort lazily
+	if s.Min() != 1 {
+		t.Fatalf("Min after late Add = %v, want 1", s.Min())
+	}
+}
+
+// Property: all distribution samples respect their documented supports.
+func TestPropertyDistributionSupports(t *testing.T) {
+	f := func(seed int64, lo uint16, span uint16) bool {
+		r := sim.NewRNG(seed, "prop")
+		u := Uniform{Lo: float64(lo), Hi: float64(lo) + float64(span)}
+		v := u.Sample(r)
+		if v < u.Lo || v > u.Hi {
+			return false
+		}
+		e := Exponential{MeanV: float64(span) + 1}
+		if e.Sample(r) < 0 {
+			return false
+		}
+		n := Normal{Mu: float64(lo), Sigma: float64(span) + 1, Min: 0}
+		return n.Sample(r) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarketPriceFloorAndReversion(t *testing.T) {
+	r := rng()
+	m := NewMarketPrice(4.0, 0.05, 0.2, 1.0, r)
+	if m.Current() != 4.0 {
+		t.Fatalf("initial price %v, want base 4.0", m.Current())
+	}
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		v := m.Step()
+		if v < 1.0 {
+			t.Fatalf("price %v below floor", v)
+		}
+		s.Add(v)
+	}
+	if math.Abs(s.Mean()-4.0) > 0.5 {
+		t.Fatalf("long-run mean %v, want ~4.0 (mean reversion)", s.Mean())
+	}
+}
+
+func TestMarketPriceBadReversionDefaults(t *testing.T) {
+	m := NewMarketPrice(4, 0.1, -5, 0, rng())
+	if m.Reversion != 0.2 {
+		t.Fatalf("bad reversion not defaulted: %v", m.Reversion)
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want string
+	}{
+		{Constant{84}, "const(84)"},
+		{Uniform{7, 15}, "uniform(7,15)"},
+		{Exponential{5}, "exp(mean=5)"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Fatalf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

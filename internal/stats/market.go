@@ -1,0 +1,45 @@
+package stats
+
+import "meryn/internal/sim"
+
+// MarketPrice is a mean-reverting (Ornstein-Uhlenbeck-style) price
+// process used to model spot-market VM prices. Algorithm 1 in the paper
+// queries "a set of public clouds their current market VM prices"; this
+// process generates those quotes. Prices never fall below Floor.
+type MarketPrice struct {
+	Base       float64 // long-run mean price
+	Volatility float64 // per-step shock scale (fraction of Base)
+	Reversion  float64 // pull strength toward Base per step, in (0, 1]
+	Floor      float64 // hard lower bound
+
+	current float64
+	rng     *sim.RNG
+}
+
+// NewMarketPrice returns a process starting at base.
+func NewMarketPrice(base, volatility, reversion, floor float64, rng *sim.RNG) *MarketPrice {
+	if reversion <= 0 || reversion > 1 {
+		reversion = 0.2
+	}
+	return &MarketPrice{
+		Base:       base,
+		Volatility: volatility,
+		Reversion:  reversion,
+		Floor:      floor,
+		current:    base,
+		rng:        rng,
+	}
+}
+
+// Current returns the price as of the last Step without advancing it.
+func (m *MarketPrice) Current() float64 { return m.current }
+
+// Step advances the process one tick and returns the new price.
+func (m *MarketPrice) Step() float64 {
+	shock := m.rng.NormFloat64() * m.Volatility * m.Base
+	m.current += m.Reversion*(m.Base-m.current) + shock
+	if m.current < m.Floor {
+		m.current = m.Floor
+	}
+	return m.current
+}

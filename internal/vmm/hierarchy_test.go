@@ -1,0 +1,253 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"meryn/internal/sim"
+)
+
+func nodeIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%02d", i)
+	}
+	return out
+}
+
+func TestHierarchyConstruction(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, nodeIDs(9), HierarchyConfig{GroupManagers: 3})
+	// One GM became leader; two remain GMs.
+	if h.Leader() == "" {
+		t.Fatal("no leader elected")
+	}
+	if got := len(h.AliveGroupManagers()); got != 2 {
+		t.Fatalf("alive GMs = %d, want 2 (third is the leader)", got)
+	}
+	// Every LC has a supervising GM and every charge is accounted for.
+	total := 0
+	for _, gm := range append(h.AliveGroupManagers(), h.Leader()) {
+		total += len(h.Charges(gm))
+	}
+	if total != 9 {
+		t.Fatalf("charges = %d, want 9", total)
+	}
+	gm, err := h.ManagerOf("lc-node00")
+	if err != nil || gm == "" {
+		t.Fatalf("ManagerOf: %q, %v", gm, err)
+	}
+	if h.Failovers != 0 {
+		t.Fatalf("initial election counted as failover: %d", h.Failovers)
+	}
+}
+
+func TestHierarchyManagerOfErrors(t *testing.T) {
+	h := NewHierarchy(sim.NewEngine(), nodeIDs(2), HierarchyConfig{})
+	if _, err := h.ManagerOf("ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := h.ManagerOf("gm-00"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("GM is not an LC: err = %v", err)
+	}
+}
+
+func TestGroupManagerFailover(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, nodeIDs(6), HierarchyConfig{GroupManagers: 3})
+	h.Start()
+	defer h.Stop()
+
+	victims := h.AliveGroupManagers()
+	victim := victims[0]
+	orphans := h.Charges(victim)
+	if len(orphans) == 0 {
+		t.Fatal("victim GM supervises nothing; bad setup")
+	}
+	if err := h.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Failure detection needs the timeout window plus a tick.
+	eng.Run(eng.Now() + sim.Seconds(15))
+	for _, lc := range orphans {
+		gm, err := h.ManagerOf(lc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gm == victim {
+			t.Fatalf("LC %s still assigned to dead GM", lc)
+		}
+	}
+	if h.Reassignments != len(orphans) {
+		t.Fatalf("reassignments = %d, want %d", h.Reassignments, len(orphans))
+	}
+	if len(h.Charges(victim)) != 0 {
+		t.Fatal("dead GM retains charges")
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, nodeIDs(4), HierarchyConfig{GroupManagers: 2})
+	h.Start()
+	defer h.Stop()
+
+	old := h.Leader()
+	if err := h.Kill(old); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(eng.Now() + sim.Seconds(15))
+	if h.Leader() == old || h.Leader() == "" {
+		t.Fatalf("leader = %q after killing %q", h.Leader(), old)
+	}
+	if h.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", h.Failovers)
+	}
+	// The old leader's charges moved to survivors.
+	total := 0
+	for _, lc := range nodeIDs(4) {
+		gm, err := h.ManagerOf("lc-" + lc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gm == old {
+			t.Fatalf("LC lc-%s still under dead leader", lc)
+		}
+		total++
+	}
+	if total != 4 {
+		t.Fatalf("supervised LCs = %d", total)
+	}
+}
+
+func TestLastSurvivorSupervisesEverything(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, nodeIDs(4), HierarchyConfig{GroupManagers: 2})
+	h.Start()
+	defer h.Stop()
+
+	// Kill every non-leader GM; the GL absorbs all LCs.
+	for _, gm := range h.AliveGroupManagers() {
+		if err := h.Kill(gm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run(eng.Now() + sim.Seconds(15))
+	if got := len(h.Charges(h.Leader())); got != 4 {
+		t.Fatalf("leader charges = %d, want all 4", got)
+	}
+}
+
+func TestKillErrors(t *testing.T) {
+	h := NewHierarchy(sim.NewEngine(), nodeIDs(1), HierarchyConfig{})
+	if err := h.Kill("ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := h.Kill("gm-01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Kill("gm-01"); !errors.Is(err, ErrDeadMember) {
+		t.Fatalf("double kill err = %v", err)
+	}
+}
+
+func TestAddGroupManagerHeals(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, nodeIDs(2), HierarchyConfig{GroupManagers: 1})
+	h.Start()
+	defer h.Stop()
+	// GroupManagers=1: the sole GM is the leader. Kill it.
+	if err := h.Kill(h.Leader()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(eng.Now() + sim.Seconds(15))
+	if h.Leader() != "" {
+		t.Fatalf("leader = %q, want none (all dead)", h.Leader())
+	}
+	if err := h.AddGroupManager("gm-99"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Leader() != "gm-99" {
+		t.Fatalf("leader = %q after join, want gm-99", h.Leader())
+	}
+	if err := h.AddGroupManager("gm-99"); err == nil {
+		t.Fatal("duplicate join must fail")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleLocalController: "local-controller",
+		RoleGroupManager:    "group-manager",
+		RoleGroupLeader:     "group-leader",
+	} {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, nodeIDs(1), HierarchyConfig{})
+	h.Start()
+	h.Start() // no-op
+	h.Stop()
+	h.Stop() // no-op
+	eng.RunAll()
+	// The queue must drain: heartbeats were cancelled.
+	if eng.Pending() != 0 {
+		t.Fatalf("pending events = %d after Stop", eng.Pending())
+	}
+}
+
+// Property: after any sequence of GM kills (keeping at least one member
+// alive), every LC is supervised by an alive member and exactly once.
+func TestPropertyHierarchySupervisionInvariant(t *testing.T) {
+	f := func(killMask uint8) bool {
+		eng := sim.NewEngine()
+		h := NewHierarchy(eng, nodeIDs(8), HierarchyConfig{GroupManagers: 4})
+		h.Start()
+		defer h.Stop()
+		ids := append(h.AliveGroupManagers(), h.Leader())
+		killed := 0
+		for i, id := range ids {
+			if killMask&(1<<i) != 0 && killed < len(ids)-1 {
+				if h.Kill(id) != nil {
+					return false
+				}
+				killed++
+			}
+		}
+		eng.Run(eng.Now() + sim.Seconds(30))
+		seen := map[string]int{}
+		for _, nid := range nodeIDs(8) {
+			gm, err := h.ManagerOf("lc-" + nid)
+			if err != nil {
+				return false
+			}
+			seen[gm]++
+		}
+		charges := 0
+		for gm := range seen {
+			// Supervisor must be alive (= still has role and appears in
+			// charges bookkeeping).
+			found := false
+			for _, alive := range append(h.AliveGroupManagers(), h.Leader()) {
+				if gm == alive {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			charges += len(h.Charges(gm))
+		}
+		return charges == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

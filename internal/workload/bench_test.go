@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"meryn/internal/stats"
+)
+
+// BenchmarkGenerate measures stochastic workload generation.
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	cfg := GenConfig{
+		Apps: 1000, Seed: 1,
+		Interarrival: stats.Exponential{MeanV: 5},
+		Work:         stats.Pareto{Alpha: 1.3, XMin: 100, XMax: 10000},
+	}
+	for i := 0; i < b.N; i++ {
+		_ = Generate(cfg)
+	}
+}
+
+// BenchmarkTraceRoundTrip measures CSV trace encode+decode for a
+// 1000-app workload.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	wl := Generate(GenConfig{Apps: 1000, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, wl); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadTrace(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"meryn/internal/sim"
+)
+
+// traceHeader is the CSV trace column set.
+var traceHeader = []string{
+	"id", "type", "vc", "submit_s", "vms", "work_s",
+	"map_tasks", "reduce_tasks", "map_work_s", "reduce_work_s",
+}
+
+// WriteTrace serializes a workload as CSV.
+func WriteTrace(w io.Writer, wl Workload) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	for _, a := range wl {
+		rec := []string{
+			a.ID,
+			string(a.Type),
+			a.VC,
+			strconv.FormatFloat(sim.ToSeconds(a.SubmitAt), 'g', -1, 64),
+			strconv.Itoa(a.VMs),
+			strconv.FormatFloat(a.Work, 'g', -1, 64),
+			strconv.Itoa(a.MapTasks),
+			strconv.Itoa(a.ReduceTasks),
+			strconv.FormatFloat(a.MapWork, 'g', -1, 64),
+			strconv.FormatFloat(a.ReduceWork, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing trace row %s: %w", a.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace produced by WriteTrace.
+func ReadTrace(r io.Reader) (Workload, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if len(rows[0]) != len(traceHeader) || rows[0][0] != "id" {
+		return nil, fmt.Errorf("workload: unrecognized trace header %v", rows[0])
+	}
+	var wl Workload
+	for i, rec := range rows[1:] {
+		app, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", i+2, err)
+		}
+		wl = append(wl, app)
+	}
+	wl.Sort()
+	return wl, nil
+}
+
+func parseRow(rec []string) (App, error) {
+	var a App
+	if len(rec) != len(traceHeader) {
+		return a, fmt.Errorf("want %d fields, got %d", len(traceHeader), len(rec))
+	}
+	a.ID = rec[0]
+	a.Type = AppType(rec[1])
+	a.VC = rec[2]
+	if a.ID == "" {
+		return a, fmt.Errorf("empty id")
+	}
+	submit, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil || submit < 0 {
+		return a, fmt.Errorf("bad submit_s %q", rec[3])
+	}
+	a.SubmitAt = sim.Seconds(submit)
+	if a.VMs, err = strconv.Atoi(rec[4]); err != nil || a.VMs < 1 {
+		return a, fmt.Errorf("bad vms %q", rec[4])
+	}
+	if a.Work, err = strconv.ParseFloat(rec[5], 64); err != nil || a.Work < 0 {
+		return a, fmt.Errorf("bad work_s %q", rec[5])
+	}
+	if a.MapTasks, err = strconv.Atoi(rec[6]); err != nil {
+		return a, fmt.Errorf("bad map_tasks %q", rec[6])
+	}
+	if a.ReduceTasks, err = strconv.Atoi(rec[7]); err != nil {
+		return a, fmt.Errorf("bad reduce_tasks %q", rec[7])
+	}
+	if a.MapWork, err = strconv.ParseFloat(rec[8], 64); err != nil {
+		return a, fmt.Errorf("bad map_work_s %q", rec[8])
+	}
+	if a.ReduceWork, err = strconv.ParseFloat(rec[9], 64); err != nil {
+		return a, fmt.Errorf("bad reduce_work_s %q", rec[9])
+	}
+	return a, nil
+}

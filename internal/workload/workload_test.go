@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"meryn/internal/sim"
+	"meryn/internal/stats"
+)
+
+func TestPaperWorkloadShape(t *testing.T) {
+	w := Paper(DefaultPaperConfig())
+	if len(w) != 65 {
+		t.Fatalf("apps = %d, want 65", len(w))
+	}
+	vc1 := w.ByVC("vc1")
+	vc2 := w.ByVC("vc2")
+	if len(vc1) != 50 || len(vc2) != 15 {
+		t.Fatalf("split = %d/%d, want 50/15", len(vc1), len(vc2))
+	}
+	for i, a := range vc1 {
+		if a.SubmitAt != sim.Time(i)*sim.Seconds(5) {
+			t.Fatalf("vc1 app %d at %v, want fixed 5 s interarrival", i, a.SubmitAt)
+		}
+	}
+	for i, a := range vc2 {
+		if a.SubmitAt != sim.Time(i)*sim.Seconds(5) {
+			t.Fatalf("vc2 app %d at %v, want fixed 5 s interarrival", i, a.SubmitAt)
+		}
+	}
+	for _, a := range w {
+		if a.VMs != 1 || a.Work != 1550 || a.Type != TypeBatch {
+			t.Fatalf("bad app %+v", a)
+		}
+	}
+	if w.Span() != sim.Seconds(245) { // 49 * 5 s on the VC1 stream
+		t.Fatalf("Span = %v", w.Span())
+	}
+}
+
+func TestPaperParallelStreams(t *testing.T) {
+	w := Paper(DefaultPaperConfig())
+	// Both streams start at t=0; VC2's 15 apps all arrive by t=70 s —
+	// before VC1's 26th application (t=125 s) triggers borrowing.
+	vc2 := w.ByVC("vc2")
+	if vc2.Span() != sim.Seconds(70) {
+		t.Fatalf("VC2 span = %v, want 70 s", vc2.Span())
+	}
+	if w[0].SubmitAt != 0 || w[1].SubmitAt != 0 {
+		t.Fatal("both streams must start at t=0")
+	}
+}
+
+func TestPaperZeroConfigDefaults(t *testing.T) {
+	w := Paper(PaperConfig{})
+	if len(w) != 65 {
+		t.Fatalf("apps = %d", len(w))
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := GenConfig{
+		Apps: 30, Seed: 7,
+		Interarrival: stats.Exponential{MeanV: 10},
+		Work:         stats.Pareto{Alpha: 1.5, XMin: 100, XMax: 10000},
+	}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	w := Generate(GenConfig{})
+	if len(w) != 65 {
+		t.Fatalf("default apps = %d", len(w))
+	}
+	for _, a := range w {
+		if a.VMs < 1 || a.Work <= 0 || a.Type != TypeBatch {
+			t.Fatalf("bad app %+v", a)
+		}
+	}
+}
+
+func TestGenerateMapReduceShape(t *testing.T) {
+	w := Generate(GenConfig{
+		Apps: 10, Type: TypeMapReduce, VC: "mr",
+		MapTasks:    stats.Constant{V: 8},
+		ReduceTasks: stats.Constant{V: 2},
+		Work:        stats.Constant{V: 800},
+	})
+	for _, a := range w {
+		if a.MapTasks != 8 || a.ReduceTasks != 2 {
+			t.Fatalf("task shape = %d/%d", a.MapTasks, a.ReduceTasks)
+		}
+		if a.MapWork != 800*0.75/8 {
+			t.Fatalf("MapWork = %v", a.MapWork)
+		}
+		if a.ReduceWork != 800*0.25/2 {
+			t.Fatalf("ReduceWork = %v", a.ReduceWork)
+		}
+	}
+}
+
+func TestMergeSorts(t *testing.T) {
+	a := Workload{{ID: "a1", SubmitAt: sim.Seconds(10)}, {ID: "a2", SubmitAt: sim.Seconds(30)}}
+	b := Workload{{ID: "b1", SubmitAt: sim.Seconds(20)}}
+	m := Merge(a, b)
+	if len(m) != 3 || m[0].ID != "a1" || m[1].ID != "b1" || m[2].ID != "a2" {
+		t.Fatalf("merge order: %v %v %v", m[0].ID, m[1].ID, m[2].ID)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Merge(
+		Paper(DefaultPaperConfig()),
+		Generate(GenConfig{Apps: 5, Type: TypeMapReduce, VC: "mr", Seed: 3}),
+	)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "x,y\n1,2\n",
+		"bad submit": "id,type,vc,submit_s,vms,work_s,map_tasks,reduce_tasks,map_work_s,reduce_work_s\na,batch,vc1,-5,1,10,0,0,0,0\n",
+		"bad vms":    "id,type,vc,submit_s,vms,work_s,map_tasks,reduce_tasks,map_work_s,reduce_work_s\na,batch,vc1,5,0,10,0,0,0,0\n",
+		"empty id":   "id,type,vc,submit_s,vms,work_s,map_tasks,reduce_tasks,map_work_s,reduce_work_s\n,batch,vc1,5,1,10,0,0,0,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %q: want error", name)
+		}
+	}
+}
+
+func TestReadTraceSortsBySubmit(t *testing.T) {
+	in := "id,type,vc,submit_s,vms,work_s,map_tasks,reduce_tasks,map_work_s,reduce_work_s\n" +
+		"late,batch,vc1,100,1,10,0,0,0,0\n" +
+		"early,batch,vc1,5,1,10,0,0,0,0\n"
+	w, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0].ID != "early" {
+		t.Fatalf("trace not sorted: %v", w[0].ID)
+	}
+}
+
+// Property: Paper(cfg) always produces the requested split, for any
+// sensible totals.
+func TestPropertyPaperSplit(t *testing.T) {
+	f := func(total, vc1 uint8) bool {
+		n := int(total%100) + 2
+		k := int(vc1) % n
+		cfg := DefaultPaperConfig()
+		cfg.Apps = n
+		cfg.VC1Apps = k
+		w := Paper(cfg)
+		return len(w) == n && len(w.ByVC("vc1")) == k && len(w.ByVC("vc2")) == n-k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trace round-trips are lossless for generated workloads.
+func TestPropertyTraceRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		w := Generate(GenConfig{Apps: int(n%20) + 1, Seed: seed,
+			Interarrival: stats.Exponential{MeanV: 7},
+			Work:         stats.Uniform{Lo: 10, Hi: 5000}})
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, w); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(w) {
+			return false
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	period := sim.Seconds(1000)
+	w := Generate(GenConfig{
+		Apps: 400, Seed: 5,
+		Interarrival: stats.Constant{V: 2},
+		Diurnal:      &Diurnal{Period: period, NightFactor: 8},
+	})
+	// Count arrivals in day vs night phases of each cycle.
+	day, night := 0, 0
+	for _, a := range w {
+		if a.SubmitAt%period < period/2 {
+			day++
+		} else {
+			night++
+		}
+	}
+	if day <= night*2 {
+		t.Fatalf("day=%d night=%d: arrivals not diurnal", day, night)
+	}
+}
+
+func TestDiurnalDefaults(t *testing.T) {
+	d := Diurnal{Period: 0}
+	if d.factor(sim.Seconds(10)) != 1 {
+		t.Fatal("zero period must be a no-op")
+	}
+	d = Diurnal{Period: sim.Seconds(100), NightFactor: 0}
+	if d.factor(sim.Seconds(75)) != 4 {
+		t.Fatalf("default night factor = %v, want 4", d.factor(sim.Seconds(75)))
+	}
+	if d.factor(sim.Seconds(25)) != 1 {
+		t.Fatal("day factor must be 1")
+	}
+}

@@ -1,0 +1,70 @@
+package meryn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(PaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := AggregateAll(res)
+	if agg.N != 65 || agg.DeadlinesMissed != 0 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	vc1 := AggregateVC(res, "vc1")
+	if vc1.N != 50 {
+		t.Fatalf("vc1 apps = %d", vc1.N)
+	}
+}
+
+func TestFacadeWorkloadHelpers(t *testing.T) {
+	w := MergeWorkloads(
+		GenerateWorkload(GenConfig{Apps: 3, VC: "vc1", Seed: 1}),
+		GenerateWorkload(GenConfig{Apps: 2, VC: "vc2", Seed: 2}),
+	)
+	if len(w) != 5 {
+		t.Fatalf("merged = %d", len(w))
+	}
+	cfg := PaperWorkloadConfig{Apps: 10, VC1Apps: 6, Interarrival: Seconds(5),
+		Work: 100, VMsPerApp: 1, VC1: "vc1", VC2: "vc2"}
+	if got := len(CustomPaperWorkload(cfg)); got != 10 {
+		t.Fatalf("custom = %d", got)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	for _, name := range []string{"table1", "fig5", "fig6", "penalty-n", "billing", "policies", "market", "suspension"} {
+		if _, ok := exps[name]; !ok {
+			t.Fatalf("experiment %q missing", name)
+		}
+	}
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Fatal("unknown experiment must fail")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestFacadeRunExperimentFig6(t *testing.T) {
+	out, err := RunExperiment("fig6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 6(a)") || !strings.Contains(out, "cost saving") {
+		t.Fatalf("fig6 output malformed:\n%s", out)
+	}
+}
+
+func TestFacadePolicyConstants(t *testing.T) {
+	if PolicyMeryn.String() != "meryn" || PolicyStatic.String() != "static" {
+		t.Fatal("policy constants broken")
+	}
+}
