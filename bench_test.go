@@ -27,7 +27,7 @@ import (
 func BenchmarkTable1ProcessingTime(b *testing.B) {
 	var last *exp.Table1Result
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Table1(5, int64(i)+1)
+		r, err := exp.Table1(5, int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func BenchmarkFig5StaticUsage(b *testing.B) {
 func BenchmarkFig6CompletionTime(b *testing.B) {
 	var last *exp.Fig5Result
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig5(int64(i) + 1)
+		r, err := exp.Fig5(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func BenchmarkFig6CompletionTime(b *testing.B) {
 func BenchmarkFig6Cost(b *testing.B) {
 	var last *exp.Fig6Result
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig6(int64(i) + 1)
+		r, err := exp.Fig6(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func BenchmarkFig6Cost(b *testing.B) {
 func BenchmarkAblationPenaltyN(b *testing.B) {
 	var last *exp.PenaltyNResult
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationPenaltyN(int64(i) + 1)
+		r, err := exp.AblationPenaltyN(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +143,7 @@ func BenchmarkAblationPenaltyN(b *testing.B) {
 func BenchmarkAblationBilling(b *testing.B) {
 	var last *exp.BillingResult
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationBilling(int64(i) + 1)
+		r, err := exp.AblationBilling(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkAblationBilling(b *testing.B) {
 func BenchmarkAblationPolicies(b *testing.B) {
 	var last *exp.PoliciesResult
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationPolicies(int64(i) + 1)
+		r, err := exp.AblationPolicies(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func BenchmarkAblationPolicies(b *testing.B) {
 func BenchmarkAblationMarket(b *testing.B) {
 	var last *exp.MarketResult
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationMarket(int64(i) + 1)
+		r, err := exp.AblationMarket(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +199,7 @@ func BenchmarkAblationMarket(b *testing.B) {
 func BenchmarkAblationSuspension(b *testing.B) {
 	var last *exp.SuspensionResult
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationSuspension(int64(i) + 1)
+		r, err := exp.AblationSuspension(int64(i)+1, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

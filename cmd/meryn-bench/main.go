@@ -1,5 +1,6 @@
 // Command meryn-bench regenerates the paper's evaluation artifacts:
-// Table 1, Figures 5(a)/(b) and 6(a)/(b), and the DESIGN.md ablations.
+// Table 1, Figures 5(a)/(b) and 6(a)/(b), and the DESIGN.md ablations,
+// plus parallel matrix sweeps with mean ±CI aggregation.
 //
 // Usage:
 //
@@ -7,9 +8,13 @@
 //	meryn-bench -exp fig5       # one experiment
 //	meryn-bench -list           # list experiments
 //	meryn-bench -seed 7 -out report.txt
+//	meryn-bench -exp table1 -reps 50 -workers 8
+//	meryn-bench -sweep "policy=meryn,static load=35,50,65 reps=5"
+//	meryn-bench -exp sweep -json results.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,10 +25,14 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (see -list)")
-		seed    = flag.Int64("seed", 1, "base RNG seed")
-		list    = flag.Bool("list", false, "list available experiments")
-		outPath = flag.String("out", "", "write the report to a file instead of stdout")
+		expName   = flag.String("exp", "all", "experiment to run (see -list)")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		list      = flag.Bool("list", false, "list available experiments")
+		outPath   = flag.String("out", "", "write the report to a file instead of stdout")
+		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
+		reps      = flag.Int("reps", 0, "seed replications for sampling experiments (0 = default)")
+		jsonPath  = flag.String("json", "", "also write machine-readable JSON to this file (- for stdout)")
+		sweepSpec = flag.String("sweep", "", `run a custom matrix sweep, e.g. "policy=meryn,static load=35,50 reps=5" (overrides -exp)`)
 	)
 	flag.Parse()
 
@@ -44,26 +53,64 @@ func main() {
 		out = f
 	}
 
-	run := func(e exp.Experiment) {
-		fmt.Fprintf(out, "=== %s — %s (seed %d) ===\n\n", e.Name, e.Artifact, *seed)
-		r, err := e.Run(*seed)
+	opt := exp.Options{Workers: *workers, Reps: *reps}
+
+	// named JSON results accumulate in run order for -json.
+	type namedResult struct {
+		Name   string `json:"name"`
+		Result any    `json:"result"`
+	}
+	var jsonResults []namedResult
+
+	run := func(name, artifact string, do func() (exp.Renderable, error)) {
+		fmt.Fprintf(out, "=== %s — %s (seed %d) ===\n\n", name, artifact, *seed)
+		r, err := do()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.Name, err))
+			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Fprintln(out, r.Render())
+		if *jsonPath != "" {
+			jsonResults = append(jsonResults, namedResult{Name: name, Result: r})
+		}
 	}
 
-	if *expName == "all" {
-		for _, e := range exp.All() {
-			run(e)
+	switch {
+	case *sweepSpec != "":
+		m, err := exp.ParseMatrix(*sweepSpec)
+		if err != nil {
+			fatal(err)
 		}
-		return
+		if m.BaseSeed == 0 { // spec's seed= wins over -seed
+			m.BaseSeed = *seed
+		}
+		run(m.Name, "custom matrix sweep", func() (exp.Renderable, error) {
+			return m.Sweep(opt)
+		})
+	case *expName == "all":
+		for _, e := range exp.All() {
+			e := e
+			run(e.Name, e.Artifact, func() (exp.Renderable, error) { return e.Run(*seed, opt) })
+		}
+	default:
+		e, ok := exp.Find(*expName)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", *expName))
+		}
+		run(e.Name, e.Artifact, func() (exp.Renderable, error) { return e.Run(*seed, opt) })
 	}
-	e, ok := exp.Find(*expName)
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (use -list)", *expName))
+
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(jsonResults, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		b = append(b, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fatal(err)
+		}
 	}
-	run(e)
 }
 
 func fatal(err error) {

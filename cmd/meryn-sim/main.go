@@ -1,6 +1,8 @@
 // Command meryn-sim runs one Meryn scenario and prints a run summary:
 // per-VC placements, SLA outcomes, cost/revenue/profit and (optionally)
-// the VM-usage chart or a CSV of the usage series.
+// the VM-usage chart or a CSV of the usage series. With -sweep it runs a
+// whole scenario matrix in parallel instead and reports mean ±CI per
+// cell.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	meryn-sim -vc1-apps 60 -chart       # heavier load, ASCII usage chart
 //	meryn-sim -trace workload.csv       # replay a trace file
 //	meryn-sim -csv usage.csv            # dump usage series for plotting
+//	meryn-sim -sweep default            # stock policy x load sweep
+//	meryn-sim -sweep "ia=4,5,7 reps=10" -workers 8 -json sweep.json
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 
 	"meryn"
+	"meryn/internal/exp"
 	"meryn/internal/metrics"
 	"meryn/internal/report"
 	"meryn/internal/sim"
@@ -26,18 +31,44 @@ import (
 
 func main() {
 	var (
-		policy   = flag.String("policy", "meryn", "resource policy: meryn or static")
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		vc1Apps  = flag.Int("vc1-apps", 50, "applications submitted to VC1")
-		vc2Apps  = flag.Int("vc2-apps", 15, "applications submitted to VC2")
-		interarr = flag.Float64("interarrival", 5, "per-stream inter-arrival time [s]")
-		work     = flag.Float64("work", 1550, "application work [reference s]")
-		traceIn  = flag.String("trace", "", "replay a workload trace CSV instead of the synthetic workload")
-		chart    = flag.Bool("chart", false, "print the VM-usage ASCII chart")
-		csvOut   = flag.String("csv", "", "write the usage series as CSV to this file")
-		hier     = flag.Bool("hierarchy", false, "deploy the Snooze-like hierarchical management plane")
+		policy    = flag.String("policy", "meryn", "resource policy: meryn or static")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		vc1Apps   = flag.Int("vc1-apps", 50, "applications submitted to VC1")
+		vc2Apps   = flag.Int("vc2-apps", 15, "applications submitted to VC2")
+		interarr  = flag.Float64("interarrival", 5, "per-stream inter-arrival time [s]")
+		work      = flag.Float64("work", 1550, "application work [reference s]")
+		traceIn   = flag.String("trace", "", "replay a workload trace CSV instead of the synthetic workload")
+		chart     = flag.Bool("chart", false, "print the VM-usage ASCII chart")
+		csvOut    = flag.String("csv", "", "write the usage series as CSV to this file")
+		hier      = flag.Bool("hierarchy", false, "deploy the Snooze-like hierarchical management plane")
+		sweepSpec = flag.String("sweep", "", `run a scenario matrix instead of one run: "default" or e.g. "policy=meryn,static ia=4,5 load=50 reps=5"`)
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all cores)")
+		reps      = flag.Int("reps", 0, "seed replications per sweep cell (0 = matrix default)")
+		jsonPath  = flag.String("json", "", "write sweep results as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
+
+	// -sweep selects a different mode with its own flag set; reject
+	// combinations that would otherwise be silently ignored.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	sweepOnly := []string{"workers", "reps", "json"}
+	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy"}
+	if *sweepSpec == "" {
+		for _, name := range sweepOnly {
+			if set[name] {
+				fatal(fmt.Errorf("-%s only applies with -sweep", name))
+			}
+		}
+	} else {
+		for _, name := range singleOnly {
+			if set[name] {
+				fatal(fmt.Errorf("-%s does not apply with -sweep (use the sweep spec, e.g. \"policy=static ia=4\")", name))
+			}
+		}
+		runSweep(*sweepSpec, *seed, exp.Options{Workers: *workers, Reps: *reps}, *jsonPath)
+		return
+	}
 
 	cfg := meryn.DefaultConfig()
 	cfg.Seed = *seed
@@ -107,6 +138,39 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nusage series written to %s\n", *csvOut)
+	}
+}
+
+// runSweep expands, executes and reports a scenario matrix.
+func runSweep(spec string, seed int64, opt exp.Options, jsonPath string) {
+	if spec == "default" {
+		spec = ""
+	}
+	m, err := exp.ParseMatrix(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if m.BaseSeed == 0 { // spec's seed= wins over -seed
+		m.BaseSeed = seed
+	}
+	res, err := m.Sweep(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Render())
+	if jsonPath != "" {
+		b, err := res.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		b = append(b, '\n')
+		if jsonPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(jsonPath, b, 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("\nsweep JSON written to %s\n", jsonPath)
+		}
 	}
 }
 

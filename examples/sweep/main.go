@@ -1,73 +1,40 @@
-// Sweep: run many independent simulations in parallel across CPU cores —
-// the harness pattern for producing statistically robust versions of the
-// paper's figures. Here: 20 seeds x 2 policies of the paper scenario,
-// reporting mean and spread of the cost saving.
+// Sweep: run a declarative scenario matrix in parallel across CPU cores —
+// the harness for producing statistically robust versions of the paper's
+// figures. Here: both policies at three offered loads, 10 derived seeds
+// per cell, reporting per-cell mean ±95% CI and the headline cost saving.
+//
+// The same sweep is available from the CLI:
+//
+//	meryn-sim -sweep "policy=meryn,static load=35,50,65 reps=10"
 package main
 
 import (
 	"fmt"
 	"log"
-	"runtime"
-	"sync"
 
-	"meryn"
 	"meryn/internal/exp"
-	"meryn/internal/stats"
 )
 
 func main() {
-	const seeds = 20
-	type outcome struct {
-		seed       int64
-		merynCost  float64
-		staticCost float64
-		merynPeak  int
-		staticPeak int
+	m := exp.Matrix{
+		Name:  "example",
+		Loads: []int{35, 50, 65},
+		Reps:  10,
 	}
-	outcomes := make([]outcome, seeds)
+	res, err := m.Sweep(exp.Options{}) // one worker per core
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
 
-	var mu sync.Mutex
-	var firstErr error
-	exp.Parallel(seeds*2, runtime.GOMAXPROCS(0), func(i int) {
-		seed := int64(i/2) + 1
-		policy := meryn.PolicyMeryn
-		if i%2 == 1 {
-			policy = meryn.PolicyStatic
+	// Headline: Meryn's cost saving at the paper's load (50 VC1 apps).
+	cost := map[string]exp.Metric{}
+	for _, c := range res.Cells {
+		if c.Load == 50 {
+			cost[c.Policy] = c.Cost
 		}
-		res, err := exp.Scenario{Policy: policy, Seed: seed}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
-		agg := meryn.AggregateAll(res)
-		o := &outcomes[i/2]
-		o.seed = seed
-		if policy == meryn.PolicyMeryn {
-			o.merynCost = agg.TotalCost
-			o.merynPeak = int(res.CloudSeries.Max())
-		} else {
-			o.staticCost = agg.TotalCost
-			o.staticPeak = int(res.CloudSeries.Max())
-		}
-	})
-	if firstErr != nil {
-		log.Fatal(firstErr)
 	}
-
-	var saving, mPeak, sPeak stats.Summary
-	for _, o := range outcomes {
-		saving.Add((o.staticCost - o.merynCost) / o.staticCost * 100)
-		mPeak.Add(float64(o.merynPeak))
-		sPeak.Add(float64(o.staticPeak))
-	}
-	fmt.Printf("paper scenario over %d seeds (%d parallel workers)\n",
-		seeds, runtime.GOMAXPROCS(0))
-	fmt.Printf("  cost saving: mean %.2f%%  min %.2f%%  max %.2f%%  (paper: 14.07%%)\n",
-		saving.Mean(), saving.Min(), saving.Max())
-	fmt.Printf("  peak cloud VMs: meryn %.0f  static %.0f  (paper: 15 vs 25)\n",
-		mPeak.Mean(), sPeak.Mean())
+	meryn, static := cost["meryn"], cost["static"]
+	fmt.Printf("\ncost saving at load 50: %.2f%% (paper: 14.07%%)\n",
+		(static.Mean-meryn.Mean)/static.Mean*100)
 }

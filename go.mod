@@ -1,0 +1,3 @@
+module meryn
+
+go 1.24

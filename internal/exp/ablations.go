@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"meryn/internal/cloud"
 	"meryn/internal/core"
@@ -30,14 +29,12 @@ type PenaltyNResult struct {
 
 // AblationPenaltyN runs the paper workload on a site 10% slower than the
 // SLA estimate assumes, so every application is late, and sweeps N.
-func AblationPenaltyN(seed int64) (*PenaltyNResult, error) {
+func AblationPenaltyN(seed int64, opt Options) (*PenaltyNResult, error) {
 	ns := []float64{1, 2, 4, 8}
 	res := &PenaltyNResult{Points: make([]PenaltyNPoint, len(ns))}
-	var mu sync.Mutex
-	var firstErr error
-	Parallel(len(ns), 0, func(i int) {
+	results, err := RunScenarios(len(ns), opt.Workers, func(i int) Scenario {
 		n := ns[i]
-		r, err := Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
+		return Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
 			cfg.PenaltyN = n
 			cfg.Site.SpeedFactor = 0.9
 			cfg.ConservativeSpeed = 1.0 // estimates assume full speed -> misses
@@ -47,24 +44,18 @@ func AblationPenaltyN(seed int64) (*PenaltyNResult, error) {
 			// look cheap, cascading delays — a real interaction, but it
 			// confounds the pure accounting effect measured here.
 			cfg.DisableSuspension = true
-		}}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
+		}}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		agg := metrics.AggregateRecords(r.Ledger.All())
-		pt := PenaltyNPoint{N: n, Revenue: agg.TotalRevenue, Missed: agg.DeadlinesMissed}
+		pt := PenaltyNPoint{N: ns[i], Revenue: agg.TotalRevenue, Missed: agg.DeadlinesMissed}
 		for _, rec := range r.Ledger.All() {
 			pt.TotalPenalty += rec.Penalty
 		}
 		res.Points[i] = pt
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }
@@ -102,23 +93,18 @@ type BillingResult struct {
 }
 
 // AblationBilling runs the paper workload under both billing models.
-func AblationBilling(seed int64) (*BillingResult, error) {
+func AblationBilling(seed int64, opt Options) (*BillingResult, error) {
 	models := []cloud.Billing{cloud.BillPerSecond, cloud.BillPerHour}
 	res := &BillingResult{Points: make([]BillingPoint, len(models))}
-	var mu sync.Mutex
-	var firstErr error
-	Parallel(len(models), 0, func(i int) {
-		r, err := Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
+	results, err := RunScenarios(len(models), opt.Workers, func(i int) Scenario {
+		return Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
 			cfg.Clouds[0].Billing = models[i]
-		}}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
+		}}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		agg := metrics.AggregateRecords(r.Ledger.All())
 		res.Points[i] = BillingPoint{
 			Billing:     models[i].String(),
@@ -128,9 +114,6 @@ func AblationBilling(seed int64) (*BillingResult, error) {
 			Completion:  r.CompletionTime,
 			TotalCost:   agg.TotalCost,
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }
@@ -168,7 +151,7 @@ type PoliciesResult struct {
 // AblationPolicies sweeps VC1 load (30..65 applications) under Meryn and
 // static partitioning: the bidding advantage grows with overload until
 // the lender's spare VMs are exhausted.
-func AblationPolicies(seed int64) (*PoliciesResult, error) {
+func AblationPolicies(seed int64, opt Options) (*PoliciesResult, error) {
 	loads := []int{25, 35, 50, 65}
 	type cell struct {
 		load   int
@@ -179,32 +162,24 @@ func AblationPolicies(seed int64) (*PoliciesResult, error) {
 		cells = append(cells, cell{l, core.PolicyMeryn}, cell{l, core.PolicyStatic})
 	}
 	res := &PoliciesResult{Points: make([]PolicyPoint, len(cells))}
-	var mu sync.Mutex
-	var firstErr error
-	Parallel(len(cells), 0, func(i int) {
+	results, err := RunScenarios(len(cells), opt.Workers, func(i int) Scenario {
 		c := cells[i]
 		wl := workload.DefaultPaperConfig()
 		wl.VC1Apps = c.load
 		wl.Apps = c.load + 15
-		r, err := Scenario{Policy: c.policy, Seed: seed, Workload: workload.Paper(wl)}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
+		return Scenario{Policy: c.policy, Seed: seed, Workload: workload.Paper(wl)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		agg := metrics.AggregateRecords(r.Ledger.All())
 		res.Points[i] = PolicyPoint{
-			VC1Apps:   c.load,
-			Policy:    c.policy.String(),
+			VC1Apps:   cells[i].load,
+			Policy:    cells[i].policy.String(),
 			TotalCost: agg.TotalCost,
 			PeakCloud: int(r.CloudSeries.Max()),
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }
@@ -238,37 +213,29 @@ type MarketResult struct {
 }
 
 // AblationMarket sweeps market volatility on the paper workload.
-func AblationMarket(seed int64) (*MarketResult, error) {
+func AblationMarket(seed int64, opt Options) (*MarketResult, error) {
 	vols := []float64{0, 0.05, 0.15, 0.30}
 	res := &MarketResult{Points: make([]MarketPoint, len(vols))}
-	var mu sync.Mutex
-	var firstErr error
-	Parallel(len(vols), 0, func(i int) {
+	results, err := RunScenarios(len(vols), opt.Workers, func(i int) Scenario {
 		vol := vols[i]
-		r, err := Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
+		return Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
 			if vol > 0 {
 				cfg.Clouds[0].Market = &cloud.MarketConfig{
 					Volatility: vol, Reversion: 0.2, Floor: 0.25,
 				}
 			}
-		}}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
+		}}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		res.Points[i] = MarketPoint{
-			Volatility:  vol,
+			Volatility:  vols[i],
 			CloudSpend:  r.CloudSpend,
 			CloudLeases: r.Counters.CloudLeases.Count,
 			Suspensions: r.Counters.Suspensions.Count,
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }
@@ -306,7 +273,7 @@ type SuspensionResult struct {
 // AblationSuspension builds a workload of long slack-rich residents plus
 // short urgent arrivals, with cloud VMs priced 10x private, and compares
 // suspension enabled vs disabled.
-func AblationSuspension(seed int64) (*SuspensionResult, error) {
+func AblationSuspension(seed int64, opt Options) (*SuspensionResult, error) {
 	var wl workload.Workload
 	for i := 0; i < 5; i++ {
 		wl = append(wl, workload.App{
@@ -332,30 +299,21 @@ func AblationSuspension(seed int64) (*SuspensionResult, error) {
 		}
 	}
 	res := &SuspensionResult{Points: make([]SuspensionPoint, 2)}
-	var mu sync.Mutex
-	var firstErr error
-	Parallel(2, 2, func(i int) {
-		disable := i == 1
-		r, err := Scenario{Seed: seed, Mutate: mutate(disable), Workload: wl}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
+	results, err := RunScenarios(2, opt.Workers, func(i int) Scenario {
+		return Scenario{Seed: seed, Mutate: mutate(i == 1), Workload: wl}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		agg := metrics.AggregateRecords(r.Ledger.All())
 		res.Points[i] = SuspensionPoint{
-			Suspension:  !disable,
+			Suspension:  i == 0,
 			TotalCost:   agg.TotalCost,
 			CloudLeases: r.Counters.CloudLeases.Count,
 			Suspensions: r.Counters.Suspensions.Count,
 			Missed:      agg.DeadlinesMissed,
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }

@@ -1,52 +1,19 @@
 // Package exp defines the reproduction experiments: one per table and
 // figure in the paper's evaluation (Table 1, Figures 5a/5b, 6a/6b) plus
-// the ablations listed in DESIGN.md. Each experiment builds scenarios on
-// the core platform, runs them (in parallel where independent), and
-// returns a result that renders to text and knows the paper-expected
+// the ablations listed in DESIGN.md, and the parallel sweep harness
+// (Matrix/Pool in sweep.go) that executes scenario grids across cores
+// with per-run derived seeds and mean/CI aggregation. Each experiment
+// builds scenarios on the core platform, runs them through the harness,
+// and returns a result that renders to text and knows the paper-expected
 // values for shape checking.
 package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"meryn/internal/core"
 	"meryn/internal/workload"
 )
-
-// Parallel runs fn(0..n-1) across a worker pool and waits. Simulations
-// are single-threaded and independent, so sweeps scale with cores.
-func Parallel(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-}
 
 // Scenario is one platform run specification.
 type Scenario struct {
@@ -54,6 +21,10 @@ type Scenario struct {
 	Seed     int64
 	Mutate   func(*core.Config) // applied after DefaultConfig
 	Workload workload.Workload
+	// Label names the scenario in errors surfaced by RunScenarios, so a
+	// failing unit in a large grid identifies itself (e.g. the Table 1
+	// case or the sweep cell), not just its run index.
+	Label string
 }
 
 // Run builds the platform and executes the scenario.
@@ -79,7 +50,7 @@ func (s Scenario) Run() (*core.Results, error) {
 type Experiment struct {
 	Name     string
 	Artifact string // which paper artifact it regenerates
-	Run      func(seed int64) (Renderable, error)
+	Run      func(seed int64, opt Options) (Renderable, error)
 }
 
 // Renderable produces human-readable experiment output.
@@ -90,32 +61,37 @@ type Renderable interface {
 // All returns the experiment registry in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		{Name: "table1", Artifact: "Table 1 (processing times)", Run: func(seed int64) (Renderable, error) {
-			return Table1(20, seed)
+		{Name: "table1", Artifact: "Table 1 (processing times)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return Table1(20, seed, opt)
 		}},
-		{Name: "fig5", Artifact: "Figure 5(a)/(b) (VM usage over time)", Run: func(seed int64) (Renderable, error) {
-			return Fig5(seed)
+		{Name: "fig5", Artifact: "Figure 5(a)/(b) (VM usage over time)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return Fig5(seed, opt)
 		}},
-		{Name: "fig6", Artifact: "Figure 6(a)/(b) (completion time & cost)", Run: func(seed int64) (Renderable, error) {
-			return Fig6(seed)
+		{Name: "fig6", Artifact: "Figure 6(a)/(b) (completion time & cost)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return Fig6(seed, opt)
 		}},
-		{Name: "penalty-n", Artifact: "Ablation A1 (Eq. 3 divisor N)", Run: func(seed int64) (Renderable, error) {
-			return AblationPenaltyN(seed)
+		{Name: "penalty-n", Artifact: "Ablation A1 (Eq. 3 divisor N)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return AblationPenaltyN(seed, opt)
 		}},
-		{Name: "billing", Artifact: "Ablation A2 (per-second vs per-hour billing)", Run: func(seed int64) (Renderable, error) {
-			return AblationBilling(seed)
+		{Name: "billing", Artifact: "Ablation A2 (per-second vs per-hour billing)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return AblationBilling(seed, opt)
 		}},
-		{Name: "policies", Artifact: "Ablation A3 (policy comparison under load sweep)", Run: func(seed int64) (Renderable, error) {
-			return AblationPolicies(seed)
+		{Name: "policies", Artifact: "Ablation A3 (policy comparison under load sweep)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return AblationPolicies(seed, opt)
 		}},
-		{Name: "market", Artifact: "Ablation A4 (market price volatility)", Run: func(seed int64) (Renderable, error) {
-			return AblationMarket(seed)
+		{Name: "market", Artifact: "Ablation A4 (market price volatility)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return AblationMarket(seed, opt)
 		}},
-		{Name: "suspension", Artifact: "Ablation A5 (suspension on/off)", Run: func(seed int64) (Renderable, error) {
-			return AblationSuspension(seed)
+		{Name: "suspension", Artifact: "Ablation A5 (suspension on/off)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return AblationSuspension(seed, opt)
 		}},
-		{Name: "realistic", Artifact: "Extension: realistic datacenter workloads (paper §7)", Run: func(seed int64) (Renderable, error) {
-			return AblationRealistic(seed)
+		{Name: "realistic", Artifact: "Extension: realistic datacenter workloads (paper §7)", Run: func(seed int64, opt Options) (Renderable, error) {
+			return AblationRealistic(seed, opt)
+		}},
+		{Name: "sweep", Artifact: "Parallel matrix sweep (policy x load, mean ±CI)", Run: func(seed int64, opt Options) (Renderable, error) {
+			m := DefaultMatrix()
+			m.BaseSeed = seed
+			return m.Sweep(opt)
 		}},
 	}
 }

@@ -33,7 +33,7 @@ func TestScenarioDefaultsToPaperWorkload(t *testing.T) {
 }
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	res, err := Table1(6, 11)
+	res, err := Table1(6, 11, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig5ShapeMatchesPaper(t *testing.T) {
-	res, err := Fig5(3)
+	res, err := Fig5(3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestFig5ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig6ShapeMatchesPaper(t *testing.T) {
-	res, err := Fig6(3)
+	res, err := Fig6(3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestFig6ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestAblationPenaltyNMonotone(t *testing.T) {
-	res, err := AblationPenaltyN(7)
+	res, err := AblationPenaltyN(7, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestAblationPenaltyNMonotone(t *testing.T) {
 }
 
 func TestAblationBillingShiftsDecisions(t *testing.T) {
-	res, err := AblationBilling(7)
+	res, err := AblationBilling(7, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestAblationBillingShiftsDecisions(t *testing.T) {
 }
 
 func TestAblationPoliciesGapGrowsWithLoad(t *testing.T) {
-	res, err := AblationPolicies(7)
+	res, err := AblationPolicies(7, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestAblationPoliciesGapGrowsWithLoad(t *testing.T) {
 }
 
 func TestAblationMarketRuns(t *testing.T) {
-	res, err := AblationMarket(7)
+	res, err := AblationMarket(7, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestAblationMarketRuns(t *testing.T) {
 }
 
 func TestAblationSuspensionValue(t *testing.T) {
-	res, err := AblationSuspension(7)
+	res, err := AblationSuspension(7, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestAblationSuspensionValue(t *testing.T) {
 }
 
 func TestAblationRealisticMerynWins(t *testing.T) {
-	res, err := AblationRealistic(3)
+	res, err := AblationRealistic(3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestAblationRealisticMerynWins(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
+	if len(all) != 10 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	if _, ok := Find("fig5"); !ok {

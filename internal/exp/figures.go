@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -18,23 +19,49 @@ type Fig5Result struct {
 }
 
 // Fig5 runs the paper workload under both policies.
-func Fig5(seed int64) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	var errM, errS error
-	Parallel(2, 2, func(i int) {
-		if i == 0 {
-			res.Meryn, errM = Scenario{Policy: core.PolicyMeryn, Seed: seed}.Run()
-		} else {
-			res.Static, errS = Scenario{Policy: core.PolicyStatic, Seed: seed}.Run()
+func Fig5(seed int64, opt Options) (*Fig5Result, error) {
+	rs, err := RunScenarios(2, opt.Workers, func(i int) Scenario {
+		policy := core.PolicyMeryn
+		if i == 1 {
+			policy = core.PolicyStatic
 		}
+		return Scenario{Policy: policy, Seed: seed}
 	})
-	if errM != nil {
-		return nil, errM
+	if err != nil {
+		return nil, err
 	}
-	if errS != nil {
-		return nil, errS
+	return &Fig5Result{Meryn: rs[0], Static: rs[1]}, nil
+}
+
+// MarshalJSON exports the condensed per-policy comparison: the embedded
+// core.Results hold unexported ledgers and series that would otherwise
+// marshal as empty objects.
+func (r *Fig5Result) MarshalJSON() ([]byte, error) {
+	type side struct {
+		Policy      string  `json:"policy"`
+		Apps        int     `json:"apps"`
+		Completion  float64 `json:"completion_s"`
+		PeakPrivate float64 `json:"peak_private_vms"`
+		PeakCloud   float64 `json:"peak_cloud_vms"`
+		TotalCost   float64 `json:"total_cost_units"`
+		CloudSpend  float64 `json:"cloud_spend_units"`
 	}
-	return res, nil
+	mk := func(res *core.Results) side {
+		agg := metrics.AggregateRecords(res.Ledger.All())
+		return side{
+			Policy:      res.Policy.String(),
+			Apps:        agg.N,
+			Completion:  res.CompletionTime,
+			PeakPrivate: res.PrivateSeries.Max(),
+			PeakCloud:   res.CloudSeries.Max(),
+			TotalCost:   agg.TotalCost,
+			CloudSpend:  res.CloudSpend,
+		}
+	}
+	return json.Marshal(struct {
+		Meryn  side `json:"meryn"`
+		Static side `json:"static"`
+	}{mk(r.Meryn), mk(r.Static)})
 }
 
 // PeakCloudMeryn returns the maximum concurrent cloud VMs under Meryn
@@ -102,8 +129,8 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the paper workload under both policies and aggregates.
-func Fig6(seed int64) (*Fig6Result, error) {
-	f5, err := Fig5(seed)
+func Fig6(seed int64, opt Options) (*Fig6Result, error) {
+	f5, err := Fig5(seed, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"meryn/internal/core"
 	"meryn/internal/metrics"
@@ -77,7 +76,7 @@ func realisticFamilies(seed int64) map[string]workload.Workload {
 }
 
 // AblationRealistic compares the policies on the three families.
-func AblationRealistic(seed int64) (*RealisticResult, error) {
+func AblationRealistic(seed int64, opt Options) (*RealisticResult, error) {
 	families := realisticFamilies(seed)
 	names := []string{"poisson", "bursty", "heavy"}
 	type cell struct {
@@ -89,32 +88,25 @@ func AblationRealistic(seed int64) (*RealisticResult, error) {
 		cells = append(cells, cell{f, core.PolicyMeryn}, cell{f, core.PolicyStatic})
 	}
 	res := &RealisticResult{Points: make([]RealisticPoint, len(cells))}
-	var mu sync.Mutex
-	var firstErr error
-	Parallel(len(cells), 0, func(i int) {
+	results, err := RunScenarios(len(cells), opt.Workers, func(i int) Scenario {
 		c := cells[i]
-		r, err := Scenario{Policy: c.policy, Seed: seed, Workload: families[c.family]}.Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("exp: realistic %s/%v: %w", c.family, c.policy, err)
-			}
-			return
-		}
+		return Scenario{Policy: c.policy, Seed: seed, Workload: families[c.family],
+			Label: fmt.Sprintf("realistic %s/%v", c.family, c.policy)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		agg := metrics.AggregateRecords(r.Ledger.All())
 		res.Points[i] = RealisticPoint{
-			Family:      c.family,
-			Policy:      c.policy.String(),
+			Family:      cells[i].family,
+			Policy:      cells[i].policy.String(),
 			Apps:        agg.N,
 			TotalCost:   agg.TotalCost,
 			Missed:      agg.DeadlinesMissed,
 			PeakCloud:   int(r.CloudSeries.Max()),
 			Suspensions: r.Counters.Suspensions.Count,
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }

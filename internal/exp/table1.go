@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"meryn/internal/cloud"
 	"meryn/internal/core"
@@ -132,12 +131,15 @@ type Table1Result struct {
 	Rows    []Table1Row
 }
 
-// Table1 measures every case `samples` times with distinct seeds.
-func Table1(samples int, baseSeed int64) (*Table1Result, error) {
+// Table1 measures every case `samples` times with distinct seeds on the
+// sweep harness's worker pool. opt.Reps overrides samples; opt.Workers
+// bounds the pool.
+func Table1(samples int, baseSeed int64, opt Options) (*Table1Result, error) {
+	if opt.Reps > 0 {
+		samples = opt.Reps
+	}
 	cases := table1Cases()
 	res := &Table1Result{Samples: samples, Rows: make([]Table1Row, len(cases))}
-	var mu sync.Mutex
-	var firstErr error
 
 	type unit struct{ caseIdx, sample int }
 	units := make([]unit, 0, len(cases)*samples)
@@ -149,30 +151,24 @@ func Table1(samples int, baseSeed int64) (*Table1Result, error) {
 	for i := range cases {
 		res.Rows[i] = Table1Row{Case: cases[i].Name, PaperLo: cases[i].PaperLo, PaperHi: cases[i].PaperHi}
 	}
-	Parallel(len(units), 0, func(i int) {
+	results, err := RunScenarios(len(units), opt.Workers, func(i int) Scenario {
+		u := units[i]
+		seed := baseSeed + int64(u.sample)*1000 + int64(u.caseIdx)
+		s := cases[u.caseIdx].scenario(seed)
+		s.Label = fmt.Sprintf("case %q sample %d", cases[u.caseIdx].Name, u.sample)
+		return s
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: table1: %w", err)
+	}
+	for i, r := range results {
 		u := units[i]
 		c := cases[u.caseIdx]
-		seed := baseSeed + int64(u.sample)*1000 + int64(u.caseIdx)
-		r, err := c.scenario(seed).Run()
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("exp: table1 case %q: %w", c.Name, err)
-			}
-			return
-		}
 		rec := r.Ledger.Get(c.target)
 		if rec == nil || rec.StartTime == 0 {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("exp: table1 case %q: target never started", c.Name)
-			}
-			return
+			return nil, fmt.Errorf("exp: table1 case %q: target never started", c.Name)
 		}
 		res.Rows[u.caseIdx].Measured.Add(sim.ToSeconds(rec.ProcessingTime()))
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }

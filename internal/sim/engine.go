@@ -58,13 +58,102 @@ func (q *eventQueue) Pop() any {
 // Engine is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; run independent simulations in separate Engines
 // (see exp.Pool for parallel sweeps).
+//
+// Two hot-path optimizations keep event dispatch cheap:
+//
+//   - fired events are recycled through a free list, so steady-state
+//     simulation (handlers scheduling follow-up events) allocates no
+//     event records after warm-up;
+//   - events scheduled for the current instant (Schedule(0) cascades,
+//     e.g. bid-round fan-outs) go to a FIFO ring instead of the heap,
+//     avoiding O(log n) sift work per push/pop for same-instant bursts.
+//
+// The ring only ever holds events whose time equals Now(): events land
+// there at creation when their time is the present, and the dispatch
+// loop drains the ring before advancing the clock. Heap events carrying
+// the same timestamp as ring events are necessarily older (the clock had
+// not yet reached that instant when they were pushed), so interleaving
+// by (at, seq) preserves the global FIFO tie-break.
 type Engine struct {
 	now     Time
 	queue   eventQueue
+	ring    []*event // FIFO of events at the current instant
+	ringPos int      // consumption cursor into ring
+	free    []*event // recycled event records
 	seq     uint64
 	running bool
 	stopped bool
 	fired   uint64
+}
+
+// alloc takes an event record from the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Engine) alloc(at Time, fn func(), canc *bool) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	e.seq++
+	ev.at, ev.seq, ev.fn, ev.canc = at, e.seq, fn, canc
+	return ev
+}
+
+// recycle returns a dispatched (or cancelled) event to the free list,
+// dropping its references so closures are not retained.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.canc = nil
+	e.free = append(e.free, ev)
+}
+
+// add enqueues fn at absolute time t (clamped to the present): the FIFO
+// ring for the current instant, the heap for the future.
+func (e *Engine) add(t Time, fn func(), canc *bool) {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.alloc(t, fn, canc)
+	if t == e.now {
+		e.ring = append(e.ring, ev)
+		return
+	}
+	heap.Push(&e.queue, ev)
+}
+
+// popNext removes and returns the earliest queued event, interleaving
+// ring and heap by (at, seq). It returns nil — leaving the event queued —
+// when nothing remains or the earliest event lies beyond the horizon.
+func (e *Engine) popNext(until Time) *event {
+	var ev *event
+	fromRing := e.ringPos < len(e.ring)
+	if fromRing && len(e.queue) > 0 {
+		r, h := e.ring[e.ringPos], e.queue[0]
+		fromRing = r.at < h.at || (r.at == h.at && r.seq < h.seq)
+	}
+	if fromRing {
+		ev = e.ring[e.ringPos]
+		if ev.at > until {
+			return nil
+		}
+		e.ring[e.ringPos] = nil
+		e.ringPos++
+		if e.ringPos == len(e.ring) {
+			e.ring = e.ring[:0]
+			e.ringPos = 0
+		}
+		return ev
+	}
+	if len(e.queue) == 0 {
+		return nil
+	}
+	if e.queue[0].at > until {
+		return nil
+	}
+	return heap.Pop(&e.queue).(*event)
 }
 
 // NewEngine returns an Engine with the clock at zero and an empty queue.
@@ -79,7 +168,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + len(e.ring) - e.ringPos }
 
 // Schedule runs fn after delay. A negative delay is an error in the
 // caller; it is clamped to zero so the event fires at the current instant
@@ -97,11 +186,7 @@ func (e *Engine) At(t Time, fn func()) {
 	if fn == nil {
 		panic("sim: At called with nil func")
 	}
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.add(t, fn, nil)
 }
 
 // Timer is a cancellable scheduled event.
@@ -123,8 +208,7 @@ func (e *Engine) After(delay Time, fn func()) *Timer {
 		delay = 0
 	}
 	cancelled := false
-	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn, canc: &cancelled})
+	e.add(e.now+delay, fn, &cancelled)
 	return &Timer{cancelled: &cancelled}
 }
 
@@ -140,12 +224,10 @@ func (e *Engine) Every(period Time, fn func()) *Timer {
 	tick = func() {
 		fn()
 		if !cancelled {
-			e.seq++
-			heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, canc: &cancelled})
+			e.add(e.now+period, tick, &cancelled)
 		}
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + period, seq: e.seq, fn: tick, canc: &cancelled})
+	e.add(e.now+period, tick, &cancelled)
 	return &Timer{cancelled: &cancelled}
 }
 
@@ -164,18 +246,20 @@ func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > until {
+	for !e.stopped {
+		ev := e.popNext(until)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.queue)
 		if ev.canc != nil && *ev.canc {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if !e.stopped && until != Forever && e.now < until {
 		// Advance the clock to the horizon (standard DES semantics):
@@ -195,17 +279,22 @@ func (e *Engine) RunAll() Time { return e.Run(Forever) }
 // external termination conditions — e.g. "run until the workload
 // settles" in the presence of self-renewing events like crash injection.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for {
+		ev := e.popNext(Forever)
+		if ev == nil {
+			return false
+		}
 		if ev.canc != nil && *ev.canc {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
-	return false
 }
 
 // Seconds converts a float64 number of seconds to virtual Time. It is the

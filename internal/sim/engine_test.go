@@ -182,6 +182,61 @@ func TestAtNilFuncPanics(t *testing.T) {
 	NewEngine().At(0, nil)
 }
 
+// Heap events carrying the same timestamp as ring events were scheduled
+// earlier (lower seq) and must fire first: A fires at 1s, schedules B for
+// "now"; C was already queued for 1s and must precede B.
+func TestSameInstantHeapBeforeRing(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(time.Second, func() {
+		got = append(got, "a")
+		e.Schedule(0, func() { got = append(got, "b") })
+	})
+	e.Schedule(time.Second, func() { got = append(got, "c") })
+	e.RunAll()
+	if len(got) != 3 || got[0] != "a" || got[1] != "c" || got[2] != "b" {
+		t.Fatalf("order = %v, want [a c b]", got)
+	}
+}
+
+// A cancelled same-instant timer (ring path) must not fire.
+func TestTimerCancelSameInstant(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(time.Second, func() {
+		tm := e.After(0, func() { fired = true })
+		tm.Cancel()
+	})
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled same-instant timer fired")
+	}
+}
+
+// Recycled event records must not leak state between uses: interleave
+// scheduling, cancellation and dispatch over many rounds and count fires.
+func TestEventPoolRecycling(t *testing.T) {
+	e := NewEngine()
+	fired, cancelled := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			e.Schedule(time.Duration(i)*time.Millisecond, func() { fired++ })
+		}
+		tm := e.After(time.Millisecond, func() { cancelled++ })
+		tm.Cancel()
+		e.RunAll()
+	}
+	if fired != 500 {
+		t.Fatalf("fired = %d, want 500", fired)
+	}
+	if cancelled != 0 {
+		t.Fatalf("cancelled timers fired %d times", cancelled)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
 func TestFiredCount(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 7; i++ {
@@ -311,6 +366,40 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		for j := 0; j < 1000; j++ {
 			e.Schedule(time.Duration(j)*time.Millisecond, func() {})
 		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkEngineSteadyState models a long-lived simulation: one engine
+// dispatching a self-renewing event chain, the dominant shape inside a
+// platform run. With event pooling this is allocation-free per event.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	remaining := b.N
+	var next func()
+	next = func() {
+		remaining--
+		if remaining > 0 {
+			e.Schedule(time.Millisecond, next)
+		}
+	}
+	e.Schedule(time.Millisecond, next)
+	e.RunAll()
+}
+
+// BenchmarkEngineSameInstantBurst measures the same-instant fan-out shape
+// (Schedule(0) cascades during bid rounds): 1000 events at one instant
+// per reused engine, exercising the FIFO fast path instead of the heap.
+func BenchmarkEngineSameInstantBurst(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, func() {
+			for j := 0; j < 999; j++ {
+				e.Schedule(0, func() {})
+			}
+		})
 		e.RunAll()
 	}
 }

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -182,6 +183,47 @@ func (s *Summary) Std() float64 {
 	return math.Sqrt(v)
 }
 
+// SampleStd returns the sample (n-1 denominator) standard deviation,
+// the estimator behind confidence intervals. 0 for fewer than two
+// observations.
+func (s *Summary) SampleStd() float64 {
+	n := float64(len(s.values))
+	if n < 2 {
+		return 0
+	}
+	m := s.sum / n
+	v := (s.sumSq - n*m*m) / (n - 1)
+	if v < 0 {
+		v = 0 // numeric guard
+	}
+	return math.Sqrt(v)
+}
+
+// tTable holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; beyond the table the normal quantile 1.96 is used.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval
+// for the mean (Student t for small samples, normal beyond 30 degrees of
+// freedom). 0 for fewer than two observations: a single replication
+// carries no spread information.
+func (s *Summary) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	t := 1.96
+	if df <= len(tTable) {
+		t = tTable[df-1]
+	}
+	return t * s.SampleStd() / math.Sqrt(float64(n))
+}
+
 // Min returns the smallest observation (0 for empty).
 func (s *Summary) Min() float64 {
 	s.ensureSorted()
@@ -232,4 +274,17 @@ func (s *Summary) ensureSorted() {
 		sort.Float64s(s.values)
 		s.sorted = true
 	}
+}
+
+// MarshalJSON exports the condensed statistics (not the raw samples), so
+// experiment results embedding a Summary stay machine-readable.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N    int     `json:"n"`
+		Mean float64 `json:"mean"`
+		Std  float64 `json:"std"`
+		CI95 float64 `json:"ci95"`
+		Min  float64 `json:"min"`
+		Max  float64 `json:"max"`
+	}{s.N(), s.Mean(), s.Std(), s.CI95(), s.Min(), s.Max()})
 }

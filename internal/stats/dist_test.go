@@ -160,6 +160,53 @@ func TestSummaryBasics(t *testing.T) {
 	}
 }
 
+// Hand-computed confidence interval: values {1,2,3,4,5} have mean 3,
+// sample std sqrt(2.5) ≈ 1.5811, standard error 0.7071; with t(df=4) =
+// 2.776 the 95% CI half-width is 2.776 * 0.7071 ≈ 1.9629.
+func TestSummaryCI95HandComputed(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if got, want := s.SampleStd(), math.Sqrt(2.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SampleStd = %v, want %v", got, want)
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+// Two identical pairs: {10, 10} has zero spread, CI must be zero; a
+// single observation carries no spread information at all.
+func TestSummaryCI95Degenerate(t *testing.T) {
+	var one Summary
+	one.Add(42)
+	if one.CI95() != 0 || one.SampleStd() != 0 {
+		t.Fatal("single observation must report zero CI")
+	}
+	var flat Summary
+	flat.Add(10)
+	flat.Add(10)
+	if flat.CI95() != 0 {
+		t.Fatalf("zero-spread CI = %v, want 0", flat.CI95())
+	}
+}
+
+// Large samples fall back to the normal quantile: 100 alternating 0/2
+// observations have mean 1, sample std ~1.005, CI ≈ 1.96*0.1005.
+func TestSummaryCI95LargeSample(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64((i % 2) * 2))
+	}
+	sampleStd := math.Sqrt(100.0 / 99.0)
+	want := 1.96 * sampleStd / 10
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
 func TestSummaryEmpty(t *testing.T) {
 	var s Summary
 	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {

@@ -158,13 +158,15 @@ func Seconds(s float64) sim.Time { return sim.Seconds(s) }
 
 // RunExperiment executes a named reproduction experiment ("table1",
 // "fig5", "fig6", "penalty-n", "billing", "policies", "market",
-// "suspension") and returns its rendered report.
+// "suspension", "sweep") and returns its rendered report. It runs with
+// default execution options; use the exp package directly to bound the
+// worker pool or override replication counts.
 func RunExperiment(name string, seed int64) (string, error) {
 	e, ok := exp.Find(name)
 	if !ok {
 		return "", &UnknownExperimentError{Name: name}
 	}
-	r, err := e.Run(seed)
+	r, err := e.Run(seed, exp.Options{})
 	if err != nil {
 		return "", err
 	}
