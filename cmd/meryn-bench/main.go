@@ -11,6 +11,7 @@
 //	meryn-bench -exp table1 -reps 50 -workers 8
 //	meryn-bench -sweep "policy=meryn,static load=35,50,65 reps=5"
 //	meryn-bench -exp sweep -json results.json
+//	meryn-bench -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"meryn/internal/exp"
 )
@@ -33,8 +36,36 @@ func main() {
 		reps      = flag.Int("reps", 0, "seed replications for sampling experiments (0 = default)")
 		jsonPath  = flag.String("json", "", "also write machine-readable JSON to this file (- for stdout)")
 		sweepSpec = flag.String("sweep", "", `run a custom matrix sweep, e.g. "policy=meryn,static load=35,50 reps=5" (overrides -exp)`)
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfiling = true
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -113,7 +144,14 @@ func main() {
 	}
 }
 
+// cpuProfiling records that a CPU profile is in flight, so fatal can
+// flush its trailer before os.Exit skips the deferred stop.
+var cpuProfiling bool
+
 func fatal(err error) {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+	}
 	fmt.Fprintln(os.Stderr, "meryn-bench:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"meryn/internal/sim"
+	"meryn/internal/workload"
+)
+
+// benchPlatform builds a single-VC cloudless platform with vms private
+// VMs, submits the workload and steps the engine until every submitted
+// application is running, returning the VC's Cluster Manager.
+func benchPlatform(b *testing.B, vms int, w workload.Workload) (*Platform, *ClusterManager) {
+	b.Helper()
+	p, err := NewPlatform(onevcConfig(vms))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range w {
+		app := w[i]
+		p.Eng.At(app.SubmitAt, func() { p.Client.Submit(app) })
+	}
+	cm, _ := p.CM("vc1")
+	for len(cm.fw.Running()) < len(w) && p.Eng.Step() {
+	}
+	if got := len(cm.fw.Running()); got != len(w) {
+		b.Fatalf("running = %d, want %d", got, len(w))
+	}
+	return p, cm
+}
+
+// BenchmarkComputeBid measures Algorithm 2 over a VC saturated with 25
+// running single-VM applications — the per-bid cost paid by every peer
+// on every bid round (protocol.go).
+func BenchmarkComputeBid(b *testing.B) {
+	w := make(workload.Workload, 25)
+	for i := range w {
+		w[i] = batchApp(fmt.Sprintf("app-%d", i), "vc1", 0, 1e7)
+	}
+	_, cm := benchPlatform(b, 25, w)
+	duration := sim.Seconds(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bid := cm.ComputeBid(1, duration)
+		if !bid.OK {
+			b.Fatal("expected a suspension bid")
+		}
+	}
+}
+
+// BenchmarkSegmentCycle measures one usage/cost segment open + close for
+// an 8-VM application — the accounting path hit on every job start,
+// suspension, requeue and finish.
+func BenchmarkSegmentCycle(b *testing.B) {
+	app := workload.App{
+		ID: "big", Type: workload.TypeBatch, VC: "vc1",
+		SubmitAt: 0, VMs: 8, Work: 1e7,
+	}
+	_, cm := benchPlatform(b, 8, workload.Workload{app})
+	st := cm.apps["big"]
+	if st == nil || st.job == nil {
+		b.Fatal("app not dispatched")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.onJobStart(st.job)
+		cm.closeSegment(st)
+	}
+}
+
+// BenchmarkFreePrivateCount measures the idle-private-VM count used by
+// the VM exchange protocol (acquireFromVC, processLoanReturns) on a VC
+// with 25 idle nodes.
+func BenchmarkFreePrivateCount(b *testing.B) {
+	_, cm := benchPlatform(b, 25, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := cm.freePrivateCount(); n != 25 {
+			b.Fatalf("free private = %d, want 25", n)
+		}
+	}
+}

@@ -30,8 +30,15 @@ type appState struct {
 	job      *framework.Job
 
 	// Current execution segment (between OnStart and OnSuspend/OnFinish).
-	segStart sim.Time
-	segNodes []string
+	// Node kinds and cost rates are recorded at segment open, so closing
+	// never re-resolves nodes that may have been detached mid-segment
+	// (crash, idle-cloud GC, VM transfer) — re-resolving used to skip
+	// their gauge release and permanently inflate the usage series.
+	segStart    sim.Time
+	segOpen     bool
+	segCloudN   int     // cloud nodes in the segment
+	segPrivateN int     // private nodes in the segment
+	segRate     float64 // summed cost rate (units per second) of the nodes
 
 	// loan is non-nil when the app runs on VMs borrowed under a
 	// suspension-backed loan that must be returned at completion.
@@ -77,6 +84,15 @@ type ClusterManager struct {
 	victims  []victim    // suspended apps awaiting resume, FIFO
 	owedLoan []*loan     // loans this CM owes (as borrower), pending return
 
+	// segAccum/segVisit accumulate a segment's node kinds and rates
+	// during VisitJobNodes; the visitor is bound once so opening a
+	// segment allocates nothing.
+	segAccum struct {
+		cloudN, privateN int
+		rate             float64
+	}
+	segVisit func(id string) bool
+
 	// OwnedPrivate counts private VMs currently attached (for reports).
 	OwnedPrivate int
 }
@@ -95,6 +111,17 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 		OnSuspend: cm.onJobSuspend,
 		OnFinish:  cm.onJobFinish,
 		OnRequeue: cm.onJobRequeue,
+	}
+	cm.segVisit = func(id string) bool {
+		if info, ok := cm.nodes[id]; ok {
+			cm.segAccum.rate += info.rate
+			if info.cloud {
+				cm.segAccum.cloudN++
+			} else {
+				cm.segAccum.privateN++
+			}
+		}
+		return true
 	}
 	switch cfg.Type {
 	case workload.TypeBatch:
@@ -172,17 +199,18 @@ func (cm *ClusterManager) attachCloud(inst *cloud.Instance, p *cloud.Provider) {
 
 // detachFreeNodes removes up to n idle nodes of the requested kind
 // (cloud or private) from the framework and returns their IDs with the
-// detached bookkeeping info. Callers adjust avail.
+// detached bookkeeping info. Callers adjust avail. The framework's
+// kind-segregated free index makes the selection O(picked) — no full
+// free-list allocation, no per-node kind lookups.
 func (cm *ClusterManager) detachFreeNodes(n int, wantCloud bool) ([]string, []*nodeInfo) {
-	var picked []string
-	for _, id := range cm.fw.FreeNodeIDs() {
-		if len(picked) == n {
-			break
-		}
-		if info, ok := cm.nodes[id]; ok && info.cloud == wantCloud {
-			picked = append(picked, id)
-		}
+	if n <= 0 || cm.fw.FreeNodeCount(wantCloud) == 0 {
+		return nil, nil
 	}
+	var picked []string
+	cm.fw.VisitFreeNodes(wantCloud, func(id string) bool {
+		picked = append(picked, id)
+		return len(picked) < n
+	})
 	infos := make([]*nodeInfo, 0, len(picked))
 	for _, id := range picked {
 		if err := cm.fw.DisableNode(id); err != nil {
@@ -204,13 +232,7 @@ func (cm *ClusterManager) detachFreeNodes(n int, wantCloud bool) ([]string, []*n
 // freePrivateCount counts idle private nodes (candidates for lending or
 // loan return).
 func (cm *ClusterManager) freePrivateCount() int {
-	count := 0
-	for _, id := range cm.fw.FreeNodeIDs() {
-		if info, ok := cm.nodes[id]; ok && !info.cloud {
-			count++
-		}
-	}
-	return count
+	return cm.fw.FreeNodeCount(false)
 }
 
 // BoostWithCloud leases n cloud VMs and adds them to the VC as
@@ -303,7 +325,9 @@ func (cm *ClusterManager) dispatch(st *appState) {
 	st.controller = newAppController(cm, st)
 }
 
-// onJobStart opens a cost/usage segment for the app.
+// onJobStart opens a cost/usage segment for the app: node kinds and
+// cost rates are captured now, and each usage gauge moves once with the
+// whole delta instead of once per node.
 func (cm *ClusterManager) onJobStart(j *framework.Job) {
 	st := cm.apps[j.ID]
 	if st == nil {
@@ -311,39 +335,40 @@ func (cm *ClusterManager) onJobStart(j *framework.Job) {
 	}
 	now := cm.p.Eng.Now()
 	st.segStart = now
-	nodes, err := cm.fw.JobNodes(j.ID)
-	if err != nil {
-		nodes = nil
-	}
-	st.segNodes = nodes
 	st.rec.StartTime = j.StartedAt // framework sets this once, at first start
-	for _, id := range nodes {
-		if info, ok := cm.nodes[id]; ok && info.cloud {
-			cm.p.CloudUsed.Add(now, 1)
-		} else {
-			cm.p.PrivateUsed.Add(now, 1)
-		}
+	// Rates accumulate in the framework's deterministic visit order, so
+	// the float sum reproduces run to run.
+	cm.segAccum.cloudN, cm.segAccum.privateN, cm.segAccum.rate = 0, 0, 0
+	_ = cm.fw.VisitJobNodes(j.ID, cm.segVisit)
+	st.segCloudN, st.segPrivateN, st.segRate = cm.segAccum.cloudN, cm.segAccum.privateN, cm.segAccum.rate
+	st.segOpen = true
+	if st.segCloudN > 0 {
+		cm.p.CloudUsed.Add(now, st.segCloudN)
+	}
+	if st.segPrivateN > 0 {
+		cm.p.PrivateUsed.Add(now, st.segPrivateN)
 	}
 }
 
 // closeSegment accrues cost and releases usage gauges for the app's
-// current execution segment.
+// current execution segment, using the kinds and rates recorded at open
+// time — nodes detached mid-segment still release their gauge counts
+// (and still bill: the provider paid for them while the segment ran).
 func (cm *ClusterManager) closeSegment(st *appState) {
+	if !st.segOpen {
+		return
+	}
 	now := cm.p.Eng.Now()
 	dur := sim.ToSeconds(now - st.segStart)
-	for _, id := range st.segNodes {
-		info, ok := cm.nodes[id]
-		if !ok {
-			continue
-		}
-		st.rec.Cost += dur * info.rate
-		if info.cloud {
-			cm.p.CloudUsed.Add(now, -1)
-		} else {
-			cm.p.PrivateUsed.Add(now, -1)
-		}
+	st.rec.Cost += dur * st.segRate
+	if st.segCloudN > 0 {
+		cm.p.CloudUsed.Add(now, -st.segCloudN)
 	}
-	st.segNodes = nil
+	if st.segPrivateN > 0 {
+		cm.p.PrivateUsed.Add(now, -st.segPrivateN)
+	}
+	st.segOpen = false
+	st.segCloudN, st.segPrivateN, st.segRate = 0, 0, 0
 }
 
 // onJobSuspend closes the segment of a suspended victim.
@@ -426,16 +451,18 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 	cm.retryPending()
 }
 
-// gcIdleCloud releases every attached cloud node that is idle.
+// gcIdleCloud releases every attached cloud node that is idle, in one
+// indexed pass (it used to detach one node per full free-list rescan).
 func (cm *ClusterManager) gcIdleCloud() {
-	for {
-		picked, infos := cm.detachFreeNodes(1, true)
-		if len(picked) == 0 {
-			return
-		}
-		cm.avail--
-		if infos[0].provider != nil {
-			cm.p.RM.Release(infos[0].provider, infos[0].instID)
+	n := cm.fw.FreeNodeCount(true)
+	if n == 0 {
+		return
+	}
+	picked, infos := cm.detachFreeNodes(n, true)
+	cm.avail -= len(picked)
+	for i := range picked {
+		if infos[i].provider != nil {
+			cm.p.RM.Release(infos[i].provider, infos[i].instID)
 		}
 	}
 }

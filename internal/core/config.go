@@ -166,6 +166,11 @@ type Config struct {
 	// MonitorInterval is the Application Controller check period
 	// (default 30 s).
 	MonitorInterval sim.Time
+	// MetricsMaxPoints, when non-zero, caps each usage series
+	// (private-used, cloud-used) via downsampling — useful for long
+	// sweeps where exact per-event series would dominate memory. 0 (the
+	// default) keeps series exact. Must be 0 or >= 4.
+	MetricsMaxPoints int
 	// Enforcer handles SLA violations detected by Application
 	// Controllers (default: record only).
 	Enforcer Enforcer
@@ -287,6 +292,9 @@ func (c *Config) fillDefaults() error {
 		if vc.InitialVMs < 0 {
 			return fmt.Errorf("core: VC %q has negative InitialVMs", vc.Name)
 		}
+	}
+	if c.MetricsMaxPoints != 0 && c.MetricsMaxPoints < 4 {
+		return fmt.Errorf("core: MetricsMaxPoints %d must be 0 (exact) or >= 4", c.MetricsMaxPoints)
 	}
 	if c.UserVMPrice < c.cheapestCloudPrice() {
 		return fmt.Errorf("core: user VM price %g below cloud VM cost %g (unbounded platform losses, paper §4.2.1)",

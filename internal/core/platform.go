@@ -95,6 +95,10 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		CloudUsed:   metrics.NewGauge("cloud-used"),
 		rng:         sim.NewRNG(cfg.Seed, "core/platform"),
 	}
+	if cfg.MetricsMaxPoints != 0 {
+		p.PrivateUsed.SetMaxPoints(cfg.MetricsMaxPoints)
+		p.CloudUsed.SetMaxPoints(cfg.MetricsMaxPoints)
+	}
 
 	site := cluster.New(cfg.Site)
 	m, err := vmm.New(eng, vmm.Config{

@@ -3,12 +3,18 @@
 // paper configures the scheduler so each application owns a fixed number
 // of VMs — and checkpoint-based job suspension, which is what makes the
 // bid computation of paper Algorithm 2 possible.
+//
+// Scheduler state is indexed, not rescanned: free and idle-disabled
+// nodes live in intrusive attach-ordered sets (framework.NodeIndex)
+// maintained on every node/job transition, the job queue is a ring
+// deque with O(1) front pops and requeues, and the running set is kept
+// in submission order so Running() — called once per bid by the core
+// protocol — neither sorts nor allocates.
 package batch
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"meryn/internal/framework"
 	"meryn/internal/sim"
@@ -29,6 +35,14 @@ type nodeState struct {
 	node     framework.Node
 	disabled bool
 	jobID    string // "" when idle
+	entry    framework.IndexEntry
+}
+
+// jobEntry pairs a job with its submission sequence number, which
+// orders the maintained running set.
+type jobEntry struct {
+	job *framework.Job
+	seq uint64
 }
 
 type runInfo struct {
@@ -36,6 +50,7 @@ type runInfo struct {
 	speed     float64 // min speed across assigned nodes
 	startedAt sim.Time
 	finish    *sim.Timer
+	seq       uint64 // submission sequence, for running-set removal
 }
 
 // Config configures a batch framework instance.
@@ -56,10 +71,22 @@ type Batch struct {
 	eng   *sim.Engine
 	cfg   Config
 	nodes map[string]*nodeState
-	order []string // node attach order, for deterministic iteration
-	jobs  map[string]*framework.Job
-	queue []string // job IDs waiting
-	runs  map[string]*runInfo
+
+	// attachSeq stamps nodes in attach order; the indexes keep that
+	// order so node selection matches the pre-index full scans.
+	attachSeq uint64
+	free      framework.NodeIndex // enabled nodes with no job
+	idleDis   framework.NodeIndex // disabled nodes with no job
+
+	jobs   map[string]jobEntry
+	jobSeq uint64
+	queue  framework.Deque[string] // job IDs waiting
+	runs   map[string]*runInfo
+
+	// running holds running jobs in submission order.
+	running framework.SeqSet[*framework.Job]
+
+	scratch []string // reused by schedule() for free-node collection
 }
 
 var _ framework.Framework = (*Batch)(nil)
@@ -76,7 +103,7 @@ func New(eng *sim.Engine, cfg Config) *Batch {
 		eng:   eng,
 		cfg:   cfg,
 		nodes: make(map[string]*nodeState),
-		jobs:  make(map[string]*framework.Job),
+		jobs:  make(map[string]jobEntry),
 		runs:  make(map[string]*runInfo),
 	}
 }
@@ -97,8 +124,11 @@ func (b *Batch) AddNode(n framework.Node) {
 	if n.SpeedFactor <= 0 {
 		n.SpeedFactor = 1.0
 	}
-	b.nodes[n.ID] = &nodeState{node: n}
-	b.order = append(b.order, n.ID)
+	ns := &nodeState{node: n}
+	ns.entry.Init(n.ID, b.attachSeq, n.Cloud)
+	b.attachSeq++
+	b.nodes[n.ID] = ns
+	b.free.Insert(&ns.entry)
 	b.schedule()
 }
 
@@ -108,7 +138,13 @@ func (b *Batch) DisableNode(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
 	}
-	ns.disabled = true
+	if !ns.disabled {
+		ns.disabled = true
+		if ns.jobID == "" {
+			ns.entry.Unlink()
+			b.idleDis.Insert(&ns.entry)
+		}
+	}
 	return nil
 }
 
@@ -121,13 +157,8 @@ func (b *Batch) RemoveNode(id string) error {
 	if ns.jobID != "" {
 		return fmt.Errorf("%w: %s runs %s", ErrNodeBusy, id, ns.jobID)
 	}
+	ns.entry.Unlink()
 	delete(b.nodes, id)
-	for i, nid := range b.order {
-		if nid == id {
-			b.order = append(b.order[:i], b.order[i+1:]...)
-			break
-		}
-	}
 	return nil
 }
 
@@ -141,23 +172,19 @@ func (b *Batch) FailNode(id string) error {
 		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
 	}
 	jobID := ns.jobID
+	ns.entry.Unlink()
 	delete(b.nodes, id)
-	for i, nid := range b.order {
-		if nid == id {
-			b.order = append(b.order[:i], b.order[i+1:]...)
-			break
-		}
-	}
 	if jobID == "" {
 		return nil
 	}
-	j := b.jobs[jobID]
+	j := b.jobs[jobID].job
 	run := b.runs[jobID]
 	run.finish.Cancel()
 	delete(b.runs, jobID)
-	b.freeJobNodes(jobID) // survivors become idle
+	b.running.Remove(run.seq)
+	b.freeNodes(run.nodeIDs) // survivors become idle
 	j.State = framework.JobQueued
-	b.queue = append([]string{jobID}, b.queue...)
+	b.queue.PushFront(jobID)
 	if b.cfg.Events.OnRequeue != nil {
 		b.cfg.Events.OnRequeue(j)
 	}
@@ -170,26 +197,20 @@ func (b *Batch) NumNodes() int { return len(b.nodes) }
 
 // FreeNodeIDs implements framework.Framework.
 func (b *Batch) FreeNodeIDs() []string {
-	var out []string
-	for _, id := range b.order {
-		ns := b.nodes[id]
-		if ns.jobID == "" && !ns.disabled {
-			out = append(out, id)
-		}
-	}
-	return out
+	return b.free.CollectN(nil, -1)
+}
+
+// FreeNodeCount implements framework.Framework.
+func (b *Batch) FreeNodeCount(cloud bool) int { return b.free.Count(cloud) }
+
+// VisitFreeNodes implements framework.Framework.
+func (b *Batch) VisitFreeNodes(cloud bool, visit func(id string) bool) {
+	b.free.Visit(cloud, visit)
 }
 
 // IdleDisabledNodeIDs implements framework.Framework.
 func (b *Batch) IdleDisabledNodeIDs() []string {
-	var out []string
-	for _, id := range b.order {
-		ns := b.nodes[id]
-		if ns.jobID == "" && ns.disabled {
-			out = append(out, id)
-		}
-	}
-	return out
+	return b.idleDis.CollectN(nil, -1)
 }
 
 // Submit implements framework.Framework.
@@ -202,8 +223,9 @@ func (b *Batch) Submit(j *framework.Job) error {
 	}
 	j.State = framework.JobQueued
 	j.SubmittedAt = b.eng.Now()
-	b.jobs[j.ID] = j
-	b.queue = append(b.queue, j.ID)
+	b.jobs[j.ID] = jobEntry{job: j, seq: b.jobSeq}
+	b.jobSeq++
+	b.queue.PushBack(j.ID)
 	b.schedule()
 	return nil
 }
@@ -211,10 +233,11 @@ func (b *Batch) Submit(j *framework.Job) error {
 // Suspend implements framework.Framework. The job's completed work is
 // preserved (checkpoint); its nodes become free.
 func (b *Batch) Suspend(id string) error {
-	j, ok := b.jobs[id]
+	je, ok := b.jobs[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrJobUnknown, id)
 	}
+	j := je.job
 	if j.State != framework.JobRunning {
 		return fmt.Errorf("%w: %s is %v", ErrJobState, id, j.State)
 	}
@@ -227,8 +250,9 @@ func (b *Batch) Suspend(id string) error {
 	}
 	j.State = framework.JobSuspended
 	j.Suspensions++
-	b.freeJobNodes(id)
+	b.freeNodes(run.nodeIDs)
 	delete(b.runs, id)
+	b.running.Remove(run.seq)
 	if b.cfg.Events.OnSuspend != nil {
 		b.cfg.Events.OnSuspend(j)
 	}
@@ -239,15 +263,16 @@ func (b *Batch) Suspend(id string) error {
 // Resume implements framework.Framework. Resumed jobs go to the front of
 // the queue so lent VMs returning to the VC restart the victim first.
 func (b *Batch) Resume(id string) error {
-	j, ok := b.jobs[id]
+	je, ok := b.jobs[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrJobUnknown, id)
 	}
+	j := je.job
 	if j.State != framework.JobSuspended {
 		return fmt.Errorf("%w: %s is %v", ErrJobState, id, j.State)
 	}
 	j.State = framework.JobQueued
-	b.queue = append([]string{id}, b.queue...)
+	b.queue.PushFront(id)
 	if b.cfg.Events.OnResume != nil {
 		b.cfg.Events.OnResume(j)
 	}
@@ -266,12 +291,27 @@ func (b *Batch) JobNodes(id string) ([]string, error) {
 	return out, nil
 }
 
+// VisitJobNodes implements framework.Framework.
+func (b *Batch) VisitJobNodes(id string, visit func(id string) bool) error {
+	run, ok := b.runs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s is not running", ErrJobState, id)
+	}
+	for _, nid := range run.nodeIDs {
+		if !visit(nid) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Progress implements framework.Framework.
 func (b *Batch) Progress(id string) (float64, error) {
-	j, ok := b.jobs[id]
+	je, ok := b.jobs[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrJobUnknown, id)
 	}
+	j := je.job
 	done := j.DoneWork
 	if run, running := b.runs[id]; running {
 		done += sim.ToSeconds(b.eng.Now()-run.startedAt) * run.speed * float64(len(run.nodeIDs))
@@ -285,60 +325,67 @@ func (b *Batch) Progress(id string) (float64, error) {
 
 // Get implements framework.Framework.
 func (b *Batch) Get(id string) (*framework.Job, bool) {
-	j, ok := b.jobs[id]
-	return j, ok
+	je, ok := b.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return je.job, true
 }
 
-// Running implements framework.Framework.
+// Running implements framework.Framework: running jobs in submission
+// order. The slice is the maintained internal set; callers must not
+// mutate or retain it across state changes.
 func (b *Batch) Running() []*framework.Job {
-	ids := make([]string, 0, len(b.runs))
-	for id := range b.runs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	out := make([]*framework.Job, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, b.jobs[id])
-	}
-	return out
+	return b.running.Values()
 }
 
 // QueuedJobs implements framework.Framework.
 func (b *Batch) QueuedJobs() []*framework.Job {
-	out := make([]*framework.Job, 0, len(b.queue))
-	for _, id := range b.queue {
-		out = append(out, b.jobs[id])
+	out := make([]*framework.Job, 0, b.queue.Len())
+	for i := 0; i < b.queue.Len(); i++ {
+		out = append(out, b.jobs[b.queue.At(i)].job)
 	}
 	return out
 }
 
-func (b *Batch) freeJobNodes(jobID string) {
-	for _, ns := range b.nodes {
-		if ns.jobID == jobID {
-			ns.jobID = ""
+// freeNodes marks the given nodes idle and re-indexes them. IDs no
+// longer attached (a crashed node inside a run's node list) are skipped.
+func (b *Batch) freeNodes(ids []string) {
+	for _, id := range ids {
+		ns, ok := b.nodes[id]
+		if !ok {
+			continue
+		}
+		ns.jobID = ""
+		if ns.disabled {
+			b.idleDis.Insert(&ns.entry)
+		} else {
+			b.free.Insert(&ns.entry)
 		}
 	}
 }
 
 // schedule assigns queued jobs to free nodes: strict FIFO, or FIFO with
-// backfill when configured.
+// backfill when configured. The free set is indexed, so each round costs
+// O(queue scan + nodes started) instead of O(all nodes).
 func (b *Batch) schedule() {
 	for {
-		free := b.FreeNodeIDs()
-		if len(free) == 0 || len(b.queue) == 0 {
+		nfree := b.free.Len()
+		if nfree == 0 || b.queue.Len() == 0 {
 			return
 		}
 		started := false
-		for qi := 0; qi < len(b.queue); qi++ {
-			j := b.jobs[b.queue[qi]]
-			if j.VMs > len(free) {
+		for qi := 0; qi < b.queue.Len(); qi++ {
+			je := b.jobs[b.queue.At(qi)]
+			if je.job.VMs > nfree {
 				if !b.cfg.Backfill {
 					return // FIFO: blocked head blocks everyone
 				}
 				continue
 			}
-			b.queue = append(b.queue[:qi], b.queue[qi+1:]...)
-			b.start(j, free[:j.VMs])
+			b.queue.RemoveAt(qi)
+			b.scratch = b.free.CollectN(b.scratch[:0], je.job.VMs)
+			b.start(je, b.scratch)
 			started = true
 			break
 		}
@@ -348,10 +395,12 @@ func (b *Batch) schedule() {
 	}
 }
 
-func (b *Batch) start(j *framework.Job, nodeIDs []string) {
+func (b *Batch) start(je jobEntry, nodeIDs []string) {
+	j := je.job
 	speed := 0.0
 	for _, id := range nodeIDs {
 		ns := b.nodes[id]
+		ns.entry.Unlink()
 		ns.jobID = j.ID
 		if speed == 0 || ns.node.SpeedFactor < speed {
 			speed = ns.node.SpeedFactor
@@ -371,8 +420,10 @@ func (b *Batch) start(j *framework.Job, nodeIDs []string) {
 		nodeIDs:   append([]string(nil), nodeIDs...),
 		speed:     speed,
 		startedAt: now,
+		seq:       je.seq,
 	}
 	b.runs[j.ID] = run
+	b.running.Insert(je.seq, j)
 	run.finish = b.eng.After(sim.Seconds(remaining), func() { b.finish(j) })
 	if b.cfg.Events.OnStart != nil {
 		b.cfg.Events.OnStart(j)
@@ -383,8 +434,10 @@ func (b *Batch) finish(j *framework.Job) {
 	j.State = framework.JobDone
 	j.DoneWork = j.Work
 	j.FinishedAt = b.eng.Now()
-	b.freeJobNodes(j.ID)
+	run := b.runs[j.ID]
+	b.freeNodes(run.nodeIDs)
 	delete(b.runs, j.ID)
+	b.running.Remove(run.seq)
 	if b.cfg.Events.OnFinish != nil {
 		b.cfg.Events.OnFinish(j)
 	}

@@ -375,19 +375,22 @@ func TestProgressUnknownJob(t *testing.T) {
 	}
 }
 
-func TestRunningListSorted(t *testing.T) {
+func TestRunningListSubmissionOrder(t *testing.T) {
 	eng := sim.NewEngine()
 	b := New(eng, Config{})
 	addNodes(b, 3, 1.0)
-	must(t, b.Submit(job("c", 1, 100)))
-	must(t, b.Submit(job("a", 1, 100)))
-	must(t, b.Submit(job("b", 1, 100)))
+	// Lexicographically shuffled IDs: submission order must win (a
+	// lexicographic sort would put app-10 before app-2).
+	must(t, b.Submit(job("app-10", 1, 100)))
+	must(t, b.Submit(job("app-2", 1, 100)))
+	must(t, b.Submit(job("app-1", 1, 100)))
 	running := b.Running()
 	if len(running) != 3 {
 		t.Fatalf("running = %d", len(running))
 	}
-	if running[0].ID != "a" || running[1].ID != "b" || running[2].ID != "c" {
-		t.Fatalf("order = %v %v %v", running[0].ID, running[1].ID, running[2].ID)
+	if running[0].ID != "app-10" || running[1].ID != "app-2" || running[2].ID != "app-1" {
+		t.Fatalf("order = %v %v %v, want submission order app-10 app-2 app-1",
+			running[0].ID, running[1].ID, running[2].ID)
 	}
 }
 
@@ -544,5 +547,166 @@ func TestFailIdleAndUnknownNode(t *testing.T) {
 	}
 	if err := b.FailNode("ghost"); !errors.Is(err, ErrNodeUnknown) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- Backfill edge cases and index consistency (PR 2) ---
+
+// TestBackfillHeadStartsWhenCapacityFrees: a blocked head must not
+// starve — small jobs backfill while it waits, and it starts the moment
+// enough nodes free up.
+func TestBackfillHeadStartsWhenCapacityFrees(t *testing.T) {
+	eng := sim.NewEngine()
+	var order []string
+	b := New(eng, Config{Backfill: true, Events: framework.Events{
+		OnStart: func(j *framework.Job) { order = append(order, j.ID) },
+	}})
+	addNodes(b, 2, 1.0)
+	must(t, b.Submit(job("long", 1, 100)))
+	big := job("big", 2, 100) // queue head, needs the whole cluster
+	must(t, b.Submit(big))
+	must(t, b.Submit(job("small", 1, 50))) // fits on the second node now
+	eng.RunAll()
+	want := []string{"long", "small", "big"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("start order = %v, want %v", order, want)
+	}
+	if big.StartedAt != sim.Seconds(100) {
+		t.Fatalf("big started at %v, want 100s (when long freed its node)", big.StartedAt)
+	}
+	if big.State != framework.JobDone {
+		t.Fatalf("big state = %v", big.State)
+	}
+}
+
+// TestCrashRequeueRestartsFirst: a job that lost its nodes to a crash
+// requeues at the queue front and restarts before older queued work.
+func TestCrashRequeueRestartsFirst(t *testing.T) {
+	eng := sim.NewEngine()
+	var order []string
+	b := New(eng, Config{Events: framework.Events{
+		OnStart: func(j *framework.Job) { order = append(order, j.ID) },
+	}})
+	addNodes(b, 1, 1.0)
+	v := job("victim", 1, 100)
+	must(t, b.Submit(v))
+	must(t, b.Submit(job("w1", 1, 10)))
+	must(t, b.Submit(job("w2", 1, 10)))
+	eng.Run(sim.Seconds(50))
+	must(t, b.FailNode("n00")) // victim loses its only node mid-run
+	if v.State != framework.JobQueued {
+		t.Fatalf("victim state = %v, want queued", v.State)
+	}
+	if q := b.QueuedJobs(); len(q) != 3 || q[0].ID != "victim" {
+		t.Fatalf("queue head = %v, want victim first of 3", q)
+	}
+	b.AddNode(framework.Node{ID: "replacement", SpeedFactor: 1.0})
+	eng.RunAll()
+	want := []string{"victim", "victim", "w1", "w2"}
+	if len(order) != 4 || order[1] != "victim" || order[2] != "w1" {
+		t.Fatalf("start order = %v, want %v", order, want)
+	}
+	if v.DoneWork != 100 || v.State != framework.JobDone {
+		t.Fatalf("victim: state=%v done=%v", v.State, v.DoneWork)
+	}
+}
+
+// checkNodeIndexes compares the maintained free/idle-disabled indexes
+// against a brute-force recomputation from the node table, using the
+// attach order tracked by the test.
+func checkNodeIndexes(t *testing.T, b *Batch, attachOrder []string) {
+	t.Helper()
+	var wantFree, wantIdleDis []string
+	wantKind := map[bool][]string{}
+	for _, id := range attachOrder {
+		ns, ok := b.nodes[id]
+		if !ok {
+			continue // removed or failed
+		}
+		switch {
+		case ns.jobID != "":
+		case ns.disabled:
+			wantIdleDis = append(wantIdleDis, id)
+		default:
+			wantFree = append(wantFree, id)
+			wantKind[ns.node.Cloud] = append(wantKind[ns.node.Cloud], id)
+		}
+	}
+	if got := b.FreeNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantFree) {
+		t.Fatalf("FreeNodeIDs = %v, want %v", got, wantFree)
+	}
+	if got := b.IdleDisabledNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantIdleDis) {
+		t.Fatalf("IdleDisabledNodeIDs = %v, want %v", got, wantIdleDis)
+	}
+	for _, cloud := range []bool{false, true} {
+		if got := b.FreeNodeCount(cloud); got != len(wantKind[cloud]) {
+			t.Fatalf("FreeNodeCount(%v) = %d, want %d", cloud, got, len(wantKind[cloud]))
+		}
+		var visited []string
+		b.VisitFreeNodes(cloud, func(id string) bool { visited = append(visited, id); return true })
+		if fmt.Sprint(visited) != fmt.Sprint(wantKind[cloud]) {
+			t.Fatalf("VisitFreeNodes(%v) = %v, want %v", cloud, visited, wantKind[cloud])
+		}
+	}
+}
+
+// TestFreeNodeIndexConsistency drives the index through every node/job
+// transition: add, schedule, disable, suspend, resume, fail, remove,
+// finish — verifying it against a full rescan after each step.
+func TestFreeNodeIndexConsistency(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, Config{})
+	var attachOrder []string
+	add := func(id string, cloud bool) {
+		b.AddNode(framework.Node{ID: id, SpeedFactor: 1.0, Cloud: cloud})
+		attachOrder = append(attachOrder, id)
+	}
+	check := func(step string) {
+		t.Helper()
+		checkNodeIndexes(t, b, attachOrder)
+		if t.Failed() {
+			t.Fatalf("inconsistent after %s", step)
+		}
+	}
+
+	add("p0", false)
+	add("c0", true)
+	add("p1", false)
+	add("c1", true)
+	add("p2", false)
+	check("add 5 nodes")
+
+	must(t, b.Submit(job("j1", 2, 1000))) // takes p0, c0
+	must(t, b.Submit(job("j2", 1, 1000))) // takes p1
+	check("start j1 j2")
+
+	must(t, b.DisableNode("c1")) // idle -> idle-disabled
+	must(t, b.DisableNode("p1")) // busy: stays out of both indexes
+	must(t, b.DisableNode("p1")) // idempotent
+	check("disable idle and busy")
+
+	must(t, b.Suspend("j1")) // frees p0 (enabled) and c0 (enabled)
+	check("suspend j1")
+
+	must(t, b.Resume("j1")) // restarts on p0, c0
+	eng.Run(sim.Seconds(1))
+	check("resume j1")
+
+	must(t, b.FailNode("p0")) // j1 requeues; c0 freed, p0 gone
+	attachOrder = []string{"c0", "p1", "c1", "p2"}
+	check("fail p0")
+
+	must(t, b.RemoveNode("c1")) // idle-disabled node drained away
+	attachOrder = []string{"c0", "p1", "p2"}
+	check("remove c1")
+
+	eng.RunAll() // j1 finishes (c0+p2), then j2's disabled p1 frees
+	check("run to completion")
+
+	if got := b.IdleDisabledNodeIDs(); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("idle-disabled at end = %v, want [p1]", got)
+	}
+	if got := b.FreeNodeIDs(); len(got) != 2 || got[0] != "c0" || got[1] != "p2" {
+		t.Fatalf("free at end = %v, want [c0 p2]", got)
 	}
 }

@@ -16,12 +16,14 @@ import (
 )
 
 // Node is a compute slave attached to a framework: a private VM or a
-// leased cloud VM. Frameworks never learn which — that distinction
+// leased cloud VM. Frameworks index nodes by kind so the Cluster Manager
+// can count and visit free nodes of one kind without rescanning, but
+// they must never make scheduling decisions on it — that distinction
 // belongs to the Cluster Manager.
 type Node struct {
 	ID          string
 	SpeedFactor float64 // relative CPU speed; execution time = work / speed
-	Cloud       bool    // informational; frameworks must not branch on it
+	Cloud       bool    // indexed for the Cluster Manager; no scheduling on it
 }
 
 // JobState is the lifecycle of a framework job.
@@ -115,10 +117,19 @@ type Framework interface {
 	FailNode(id string) error
 	// NumNodes returns the number of attached nodes.
 	NumNodes() int
-	// FreeNodeIDs lists enabled nodes with no work assigned.
+	// FreeNodeIDs lists enabled nodes with no work assigned, in attach
+	// order. It allocates; hot paths should use FreeNodeCount or
+	// VisitFreeNodes instead.
 	FreeNodeIDs() []string
+	// FreeNodeCount returns the number of free nodes of one kind
+	// (cloud or private) without allocating.
+	FreeNodeCount(cloud bool) int
+	// VisitFreeNodes calls visit for each free node of one kind in
+	// attach order, stopping early when visit returns false. The
+	// framework must not be mutated during the visit.
+	VisitFreeNodes(cloud bool, visit func(id string) bool)
 	// IdleDisabledNodeIDs lists disabled nodes with no work assigned
-	// (ready for removal).
+	// (ready for removal), in attach order.
 	IdleDisabledNodeIDs() []string
 
 	// Submit enqueues a job.
@@ -129,11 +140,20 @@ type Framework interface {
 	Resume(id string) error
 	// JobNodes lists the node IDs a running job occupies.
 	JobNodes(id string) ([]string, error)
+	// VisitJobNodes calls visit for each node a running job occupies,
+	// stopping early when visit returns false — the allocation-free
+	// variant of JobNodes. The visit order is framework-specific but
+	// deterministic for a given simulation (floating-point aggregation
+	// over a run-dependent order would break reproducibility); callers
+	// must not rely on any particular order.
+	VisitJobNodes(id string, visit func(id string) bool) error
 	// Progress returns completed fraction in [0,1].
 	Progress(id string) (float64, error)
 	// Get looks a job up.
 	Get(id string) (*Job, bool)
-	// Running lists running jobs in submission order.
+	// Running lists running jobs in submission order. The returned
+	// slice is owned by the framework: callers must not mutate it or
+	// retain it across calls that change job state.
 	Running() []*Job
 	// QueuedJobs lists queued jobs in queue order.
 	QueuedJobs() []*Job

@@ -8,6 +8,14 @@
 // This framework exercises Meryn's extensibility claim: the Cluster
 // Manager drives it through exactly the same framework.Framework
 // interface as the batch framework.
+//
+// Scheduler state is indexed, not rescanned: enabled nodes with spare
+// slots live in per-usage-level buckets (framework.NodeIndex per slot
+// count, attach-ordered), so the least-loaded node pick is the head of
+// the lowest non-empty bucket instead of a full node scan per task; the
+// scheduler sweeps only active (queued or running) jobs; and the running
+// set is maintained in submission order so Running() neither filters
+// the whole job history nor allocates.
 package mapreduce
 
 import (
@@ -41,6 +49,7 @@ type nodeState struct {
 	node      framework.Node
 	disabled  bool
 	usedSlots int
+	entry     framework.IndexEntry
 }
 
 type taskRun struct {
@@ -52,6 +61,7 @@ type taskRun struct {
 
 type jobState struct {
 	job           *framework.Job
+	seq           uint64 // submission order
 	completedMaps int
 	completedReds int
 	runningMaps   int
@@ -59,6 +69,13 @@ type jobState struct {
 	active        bool // queued or running (not suspended/done)
 	tasks         map[int]*taskRun
 	nextTask      int
+	// nodeUse counts the job's in-flight tasks per node, and nodeList
+	// keeps those nodes in first-use order, so JobNodes and
+	// VisitJobNodes need no per-call dedup pass over tasks — and visits
+	// run in a deterministic order (float aggregation over a randomized
+	// map order would make summed cost rates differ run to run).
+	nodeUse  map[string]int
+	nodeList []string
 }
 
 // Config configures a MapReduce framework instance.
@@ -71,12 +88,35 @@ type Config struct {
 
 // MapReduce is a Hadoop-like framework. It implements framework.Framework.
 type MapReduce struct {
-	eng      *sim.Engine
-	cfg      Config
-	nodes    map[string]*nodeState
-	order    []string // node attach order
-	jobs     map[string]*jobState
-	jobOrder []string // submission order
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[string]*nodeState
+
+	// attachSeq stamps nodes in attach order; the bucket indexes keep
+	// that order so node selection matches the pre-index full scans.
+	attachSeq uint64
+	// buckets[u] holds enabled nodes with usedSlots == u (u <
+	// SlotsPerNode); fully loaded or busy-disabled nodes are unindexed.
+	buckets []framework.NodeIndex
+	idleDis framework.NodeIndex // disabled nodes with no running tasks
+	enabled int                 // enabled node count, for TotalSlots
+
+	jobs   map[string]*jobState
+	jobSeq uint64
+	// active holds queued/running jobs in submission order — the only
+	// jobs the scheduler sweeps (done/suspended jobs drop out).
+	active framework.SeqSet[*jobState]
+
+	// running holds running jobs in submission order.
+	running framework.SeqSet[*framework.Job]
+
+	// started collects jobs that transitioned to running during the
+	// current scheduling sweep; OnStart fires after the sweep so the
+	// job's first task wave is visible to JobNodes in the callback
+	// (firing per-task used to announce a start before any task was
+	// registered, hiding the job's nodes from the Cluster Manager's
+	// usage accounting).
+	started []*framework.Job
 }
 
 var _ framework.Framework = (*MapReduce)(nil)
@@ -93,10 +133,11 @@ func New(eng *sim.Engine, cfg Config) *MapReduce {
 		cfg.SlotsPerNode = 2
 	}
 	return &MapReduce{
-		eng:   eng,
-		cfg:   cfg,
-		nodes: make(map[string]*nodeState),
-		jobs:  make(map[string]*jobState),
+		eng:     eng,
+		cfg:     cfg,
+		nodes:   make(map[string]*nodeState),
+		buckets: make([]framework.NodeIndex, cfg.SlotsPerNode),
+		jobs:    make(map[string]*jobState),
 	}
 }
 
@@ -111,13 +152,7 @@ func (m *MapReduce) SlotsPerNode() int { return m.cfg.SlotsPerNode }
 
 // TotalSlots returns the cluster-wide slot count over enabled nodes.
 func (m *MapReduce) TotalSlots() int {
-	total := 0
-	for _, ns := range m.nodes {
-		if !ns.disabled {
-			total += m.cfg.SlotsPerNode
-		}
-	}
-	return total
+	return m.enabled * m.cfg.SlotsPerNode
 }
 
 // AddNode implements framework.Framework.
@@ -128,8 +163,12 @@ func (m *MapReduce) AddNode(n framework.Node) {
 	if n.SpeedFactor <= 0 {
 		n.SpeedFactor = 1.0
 	}
-	m.nodes[n.ID] = &nodeState{node: n}
-	m.order = append(m.order, n.ID)
+	ns := &nodeState{node: n}
+	ns.entry.Init(n.ID, m.attachSeq, n.Cloud)
+	m.attachSeq++
+	m.nodes[n.ID] = ns
+	m.buckets[0].Insert(&ns.entry)
+	m.enabled++
 	m.schedule()
 }
 
@@ -139,7 +178,14 @@ func (m *MapReduce) DisableNode(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
 	}
-	ns.disabled = true
+	if !ns.disabled {
+		ns.disabled = true
+		m.enabled--
+		ns.entry.Unlink() // no-op when fully loaded (unindexed)
+		if ns.usedSlots == 0 {
+			m.idleDis.Insert(&ns.entry)
+		}
+	}
 	return nil
 }
 
@@ -152,13 +198,11 @@ func (m *MapReduce) RemoveNode(id string) error {
 	if ns.usedSlots > 0 {
 		return fmt.Errorf("%w: %s", ErrNodeBusy, id)
 	}
-	delete(m.nodes, id)
-	for i, nid := range m.order {
-		if nid == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
+	ns.entry.Unlink()
+	if !ns.disabled {
+		m.enabled--
 	}
+	delete(m.nodes, id)
 	return nil
 }
 
@@ -166,17 +210,18 @@ func (m *MapReduce) RemoveNode(id string) error {
 // crashed node are lost and re-executed elsewhere; completed task output
 // survives (Hadoop's committed-task semantics).
 func (m *MapReduce) FailNode(id string) error {
-	if _, ok := m.nodes[id]; !ok {
+	ns, ok := m.nodes[id]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
 	}
-	for _, jid := range m.jobOrder {
-		js := m.jobs[jid]
+	for _, js := range m.active.Values() {
 		for tid, tr := range js.tasks {
 			if tr.nodeID != id {
 				continue
 			}
 			tr.timer.Cancel()
 			delete(js.tasks, tid)
+			js.decNodeUse(tr.nodeID)
 			if tr.phase == phaseMap {
 				js.runningMaps--
 			} else {
@@ -184,13 +229,11 @@ func (m *MapReduce) FailNode(id string) error {
 			}
 		}
 	}
-	delete(m.nodes, id)
-	for i, nid := range m.order {
-		if nid == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
+	ns.entry.Unlink()
+	if !ns.disabled {
+		m.enabled--
 	}
+	delete(m.nodes, id)
 	m.schedule()
 	return nil
 }
@@ -200,26 +243,20 @@ func (m *MapReduce) NumNodes() int { return len(m.nodes) }
 
 // FreeNodeIDs implements framework.Framework (fully idle enabled nodes).
 func (m *MapReduce) FreeNodeIDs() []string {
-	var out []string
-	for _, id := range m.order {
-		ns := m.nodes[id]
-		if ns.usedSlots == 0 && !ns.disabled {
-			out = append(out, id)
-		}
-	}
-	return out
+	return m.buckets[0].CollectN(nil, -1)
+}
+
+// FreeNodeCount implements framework.Framework.
+func (m *MapReduce) FreeNodeCount(cloud bool) int { return m.buckets[0].Count(cloud) }
+
+// VisitFreeNodes implements framework.Framework.
+func (m *MapReduce) VisitFreeNodes(cloud bool, visit func(id string) bool) {
+	m.buckets[0].Visit(cloud, visit)
 }
 
 // IdleDisabledNodeIDs implements framework.Framework.
 func (m *MapReduce) IdleDisabledNodeIDs() []string {
-	var out []string
-	for _, id := range m.order {
-		ns := m.nodes[id]
-		if ns.usedSlots == 0 && ns.disabled {
-			out = append(out, id)
-		}
-	}
-	return out
+	return m.idleDis.CollectN(nil, -1)
 }
 
 // Submit implements framework.Framework. MapReduce jobs must declare at
@@ -241,8 +278,11 @@ func (m *MapReduce) Submit(j *framework.Job) error {
 	j.State = framework.JobQueued
 	j.SubmittedAt = m.eng.Now()
 	j.Work = float64(j.MapTasks)*j.MapWork + float64(j.ReduceTasks)*j.ReduceWork
-	m.jobs[j.ID] = &jobState{job: j, active: true, tasks: make(map[int]*taskRun)}
-	m.jobOrder = append(m.jobOrder, j.ID)
+	js := &jobState{job: j, seq: m.jobSeq, active: true,
+		tasks: make(map[int]*taskRun), nodeUse: make(map[string]int)}
+	m.jobSeq++
+	m.jobs[j.ID] = js
+	m.active.Insert(js.seq, js)
 	m.schedule()
 	return nil
 }
@@ -260,10 +300,15 @@ func (m *MapReduce) Suspend(id string) error {
 	}
 	for tid, tr := range js.tasks {
 		tr.timer.Cancel()
-		m.nodes[tr.nodeID].usedSlots--
+		m.releaseSlot(m.nodes[tr.nodeID])
+		js.decNodeUse(tr.nodeID)
 		delete(js.tasks, tid)
 	}
 	js.runningMaps, js.runningReds = 0, 0
+	if j.State == framework.JobRunning {
+		m.running.Remove(js.seq)
+	}
+	m.active.Remove(js.seq)
 	js.active = false
 	j.State = framework.JobSuspended
 	j.Suspensions++
@@ -285,11 +330,32 @@ func (m *MapReduce) Resume(id string) error {
 	}
 	js.job.State = framework.JobQueued
 	js.active = true
+	m.active.Insert(js.seq, js)
 	if m.cfg.Events.OnResume != nil {
 		m.cfg.Events.OnResume(js.job)
 	}
 	m.schedule()
 	return nil
+}
+
+// incNodeUse adds one in-flight task to a node's count.
+func (js *jobState) incNodeUse(nodeID string) {
+	if js.nodeUse[nodeID]++; js.nodeUse[nodeID] == 1 {
+		js.nodeList = append(js.nodeList, nodeID)
+	}
+}
+
+// decNodeUse drops one in-flight task from a node's count.
+func (js *jobState) decNodeUse(nodeID string) {
+	if js.nodeUse[nodeID]--; js.nodeUse[nodeID] == 0 {
+		delete(js.nodeUse, nodeID)
+		for i, id := range js.nodeList {
+			if id == nodeID {
+				js.nodeList = append(js.nodeList[:i], js.nodeList[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // JobNodes implements framework.Framework: nodes currently running at
@@ -299,16 +365,25 @@ func (m *MapReduce) JobNodes(id string) ([]string, error) {
 	if !ok || js.job.State != framework.JobRunning {
 		return nil, fmt.Errorf("%w: %s is not running", ErrJobState, id)
 	}
-	seen := map[string]bool{}
-	for _, tr := range js.tasks {
-		seen[tr.nodeID] = true
-	}
-	out := make([]string, 0, len(seen))
-	for nid := range seen {
-		out = append(out, nid)
-	}
+	out := make([]string, len(js.nodeList))
+	copy(out, js.nodeList)
 	sort.Strings(out)
 	return out, nil
+}
+
+// VisitJobNodes implements framework.Framework: first-use order, which
+// is deterministic for a given simulation.
+func (m *MapReduce) VisitJobNodes(id string, visit func(id string) bool) error {
+	js, ok := m.jobs[id]
+	if !ok || js.job.State != framework.JobRunning {
+		return fmt.Errorf("%w: %s is not running", ErrJobState, id)
+	}
+	for _, nid := range js.nodeList {
+		if !visit(nid) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Progress implements framework.Framework: completed task work over
@@ -331,47 +406,60 @@ func (m *MapReduce) Get(id string) (*framework.Job, bool) {
 	return js.job, true
 }
 
-// Running implements framework.Framework.
+// Running implements framework.Framework: running jobs in submission
+// order. The slice is the maintained internal set; callers must not
+// mutate or retain it across state changes.
 func (m *MapReduce) Running() []*framework.Job {
-	var out []*framework.Job
-	for _, id := range m.jobOrder {
-		if j := m.jobs[id].job; j.State == framework.JobRunning {
-			out = append(out, j)
-		}
-	}
-	return out
+	return m.running.Values()
 }
 
 // QueuedJobs implements framework.Framework.
 func (m *MapReduce) QueuedJobs() []*framework.Job {
 	var out []*framework.Job
-	for _, id := range m.jobOrder {
-		if j := m.jobs[id].job; j.State == framework.JobQueued {
-			out = append(out, j)
+	for _, js := range m.active.Values() {
+		if js.job.State == framework.JobQueued {
+			out = append(out, js.job)
 		}
 	}
 	return out
 }
 
-// freeSlotNode returns an enabled node with a spare slot, preferring the
-// least-loaded node (Hadoop spreads tasks), or "" when none exists.
-func (m *MapReduce) freeSlotNode() string {
-	best := ""
-	bestUsed := 0
-	for _, id := range m.order {
-		ns := m.nodes[id]
-		if ns.disabled || ns.usedSlots >= m.cfg.SlotsPerNode {
-			continue
-		}
-		if best == "" || ns.usedSlots < bestUsed {
-			best = id
-			bestUsed = ns.usedSlots
-		}
+// claimSlot moves a node up one usage level after a task launch.
+func (m *MapReduce) claimSlot(ns *nodeState) {
+	ns.entry.Unlink()
+	ns.usedSlots++
+	if ns.usedSlots < m.cfg.SlotsPerNode {
+		m.buckets[ns.usedSlots].Insert(&ns.entry)
 	}
-	return best
 }
 
-// nextTaskFor returns the phase of the next runnable task for a job, or
+// releaseSlot moves a node down one usage level after a task ends.
+func (m *MapReduce) releaseSlot(ns *nodeState) {
+	ns.entry.Unlink() // no-op when the node was fully loaded
+	ns.usedSlots--
+	if ns.disabled {
+		if ns.usedSlots == 0 {
+			m.idleDis.Insert(&ns.entry)
+		}
+		return
+	}
+	m.buckets[ns.usedSlots].Insert(&ns.entry)
+}
+
+// freeSlotNode returns an enabled node with a spare slot, preferring the
+// least-loaded node (Hadoop spreads tasks), or "" when none exists. With
+// the bucket indexes this is the head of the lowest non-empty bucket —
+// exactly the node the old full scan picked.
+func (m *MapReduce) freeSlotNode() string {
+	for u := range m.buckets {
+		if e := m.buckets[u].First(); e != nil {
+			return e.ID()
+		}
+	}
+	return ""
+}
+
+// nextReady returns the phase of the next runnable task for a job, or
 // -1 when the job has nothing ready (barrier or exhausted).
 func (js *jobState) nextReady() phase {
 	j := js.job
@@ -388,24 +476,37 @@ func (js *jobState) nextReady() phase {
 func (m *MapReduce) schedule() {
 	for {
 		assigned := false
-		for _, jid := range m.jobOrder {
-			js := m.jobs[jid]
-			if !js.active || js.job.State == framework.JobDone {
-				continue
-			}
+		for _, js := range m.active.Values() {
 			ph := js.nextReady()
 			if ph == -1 {
 				continue
 			}
 			nodeID := m.freeSlotNode()
 			if nodeID == "" {
-				return // no slots anywhere; stop the sweep
+				m.fireStarts() // no slots anywhere; stop the sweep
+				return
 			}
 			m.launchTask(js, ph, nodeID)
 			assigned = true
 		}
 		if !assigned {
+			m.fireStarts()
 			return
+		}
+	}
+}
+
+// fireStarts announces jobs that began running during the sweep, after
+// their first task wave is fully registered. Each job is popped before
+// its callback fires so a reentrant sweep cannot announce it twice.
+func (m *MapReduce) fireStarts() {
+	for len(m.started) > 0 {
+		j := m.started[0]
+		n := copy(m.started, m.started[1:])
+		m.started[n] = nil // drop the stale tail reference
+		m.started = m.started[:n]
+		if m.cfg.Events.OnStart != nil {
+			m.cfg.Events.OnStart(j)
 		}
 	}
 }
@@ -413,7 +514,7 @@ func (m *MapReduce) schedule() {
 func (m *MapReduce) launchTask(js *jobState, ph phase, nodeID string) {
 	j := js.job
 	ns := m.nodes[nodeID]
-	ns.usedSlots++
+	m.claimSlot(ns)
 	work := j.MapWork
 	if ph == phaseReduce {
 		work = j.ReduceWork
@@ -429,14 +530,14 @@ func (m *MapReduce) launchTask(js *jobState, ph phase, nodeID string) {
 	}
 	if j.State == framework.JobQueued {
 		j.State = framework.JobRunning
-		if m.cfg.Events.OnStart != nil {
-			m.cfg.Events.OnStart(j)
-		}
+		m.running.Insert(js.seq, j)
+		m.started = append(m.started, j)
 	}
 	tid := js.nextTask
 	js.nextTask++
 	tr := &taskRun{jobID: j.ID, phase: ph, nodeID: nodeID}
 	js.tasks[tid] = tr
+	js.incNodeUse(nodeID)
 	exec := sim.Seconds(work / ns.node.SpeedFactor)
 	tr.timer = m.eng.After(exec, func() { m.finishTask(js, tid, ph, work) })
 }
@@ -444,7 +545,8 @@ func (m *MapReduce) launchTask(js *jobState, ph phase, nodeID string) {
 func (m *MapReduce) finishTask(js *jobState, tid int, ph phase, work float64) {
 	tr := js.tasks[tid]
 	delete(js.tasks, tid)
-	m.nodes[tr.nodeID].usedSlots--
+	m.releaseSlot(m.nodes[tr.nodeID])
+	js.decNodeUse(tr.nodeID)
 	j := js.job
 	j.DoneWork += work
 	if ph == phaseMap {
@@ -457,6 +559,8 @@ func (m *MapReduce) finishTask(js *jobState, tid int, ph phase, work float64) {
 	if js.completedMaps == j.MapTasks && js.completedReds == j.ReduceTasks {
 		j.State = framework.JobDone
 		j.FinishedAt = m.eng.Now()
+		m.running.Remove(js.seq)
+		m.active.Remove(js.seq)
 		js.active = false
 		if m.cfg.Events.OnFinish != nil {
 			m.cfg.Events.OnFinish(j)

@@ -379,3 +379,137 @@ func TestFailNodeUnknown(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// --- Slot-bucket index consistency (PR 2) ---
+
+// checkSlotIndexes compares the maintained bucket/idle-disabled indexes
+// against a brute-force recomputation from the node table, using the
+// attach order tracked by the test.
+func checkSlotIndexes(t *testing.T, m *MapReduce, attachOrder []string) {
+	t.Helper()
+	var wantFree, wantIdleDis []string
+	enabled := 0
+	for _, id := range attachOrder {
+		ns, ok := m.nodes[id]
+		if !ok {
+			continue // removed or failed
+		}
+		if !ns.disabled {
+			enabled++
+		}
+		switch {
+		case ns.usedSlots == 0 && !ns.disabled:
+			wantFree = append(wantFree, id)
+		case ns.usedSlots == 0 && ns.disabled:
+			wantIdleDis = append(wantIdleDis, id)
+		}
+	}
+	if got := m.FreeNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantFree) {
+		t.Fatalf("FreeNodeIDs = %v, want %v", got, wantFree)
+	}
+	if got := m.IdleDisabledNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantIdleDis) {
+		t.Fatalf("IdleDisabledNodeIDs = %v, want %v", got, wantIdleDis)
+	}
+	if got := m.FreeNodeCount(false) + m.FreeNodeCount(true); got != len(wantFree) {
+		t.Fatalf("FreeNodeCount total = %d, want %d", got, len(wantFree))
+	}
+	if got := m.TotalSlots(); got != enabled*m.SlotsPerNode() {
+		t.Fatalf("TotalSlots = %d, want %d", got, enabled*m.SlotsPerNode())
+	}
+	// The least-loaded pick must match a full scan of the node table.
+	want, wantUsed := "", 0
+	for _, id := range attachOrder {
+		ns, ok := m.nodes[id]
+		if !ok || ns.disabled || ns.usedSlots >= m.SlotsPerNode() {
+			continue
+		}
+		if want == "" || ns.usedSlots < wantUsed {
+			want, wantUsed = id, ns.usedSlots
+		}
+	}
+	if got := m.freeSlotNode(); got != want {
+		t.Fatalf("freeSlotNode = %q, want %q", got, want)
+	}
+}
+
+// TestSlotIndexConsistency drives the bucket indexes through task
+// launches, completions, disable, suspend/resume, fail and remove,
+// verifying them against a full rescan after each step.
+func TestSlotIndexConsistency(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, Config{SlotsPerNode: 2})
+	var attachOrder []string
+	add := func(id string, cloud bool) {
+		m.AddNode(framework.Node{ID: id, SpeedFactor: 1.0, Cloud: cloud})
+		attachOrder = append(attachOrder, id)
+	}
+	check := func(step string) {
+		t.Helper()
+		checkSlotIndexes(t, m, attachOrder)
+		if t.Failed() {
+			t.Fatalf("inconsistent after %s", step)
+		}
+	}
+
+	add("p0", false)
+	add("c0", true)
+	add("p1", false)
+	check("add 3 nodes")
+
+	// 12 tasks over 6 slots: the first wave fills every node.
+	must(t, m.Submit(mrJob("j1", 12, 0, 100, 0)))
+	check("launch j1 tasks")
+
+	must(t, m.DisableNode("p1")) // busy-disabled: out of every index
+	must(t, m.DisableNode("p1")) // idempotent
+	check("disable busy p1")
+
+	eng.Run(sim.Seconds(100)) // first map wave completes
+	check("first wave done")
+
+	must(t, m.Suspend("j1")) // kills in-flight tasks, frees all slots
+	check("suspend j1")
+
+	must(t, m.Resume("j1")) // relaunches on enabled nodes only
+	check("resume j1")
+
+	must(t, m.FailNode("p0")) // in-flight tasks on p0 lost
+	attachOrder = []string{"c0", "p1"}
+	check("fail p0")
+
+	eng.RunAll() // j1 drains on c0
+	check("run to completion")
+
+	must(t, m.RemoveNode("p1")) // idle-disabled node drained away
+	attachOrder = []string{"c0"}
+	check("remove p1")
+
+	j, _ := m.Get("j1")
+	if j.State != framework.JobDone {
+		t.Fatalf("j1 state = %v, want done", j.State)
+	}
+}
+
+// TestVisitJobNodesDeterministicOrder: visits follow first-use order —
+// never Go map order — so float aggregates over them reproduce run to
+// run.
+func TestVisitJobNodesDeterministicOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, Config{SlotsPerNode: 2})
+	addNodes(m, 3, 1.0)
+	must(t, m.Submit(mrJob("j", 6, 0, 100, 0)))
+	collect := func() []string {
+		var out []string
+		must(t, m.VisitJobNodes("j", func(id string) bool {
+			out = append(out, id)
+			return true
+		}))
+		return out
+	}
+	want := fmt.Sprint([]string{"n00", "n01", "n02"}) // least-loaded spread order
+	for i := 0; i < 3; i++ {
+		if got := fmt.Sprint(collect()); got != want {
+			t.Fatalf("visit %d = %v, want %v", i, got, want)
+		}
+	}
+}

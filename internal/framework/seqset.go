@@ -1,0 +1,53 @@
+package framework
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SeqSet maintains values ordered by a monotone uint64 sequence key —
+// the shape of "running jobs in submission order" and "active jobs in
+// submission order". Inserts and removals memmove within amortized
+// capacity (no per-call allocation once warm); Values returns the
+// maintained slice directly so listing allocates nothing.
+type SeqSet[T any] struct {
+	vals []T
+	seqs []uint64
+}
+
+// Len returns the element count.
+func (s *SeqSet[T]) Len() int { return len(s.vals) }
+
+// Values returns the maintained slice in seq order. Callers must not
+// mutate it or retain it across Insert/Remove calls.
+func (s *SeqSet[T]) Values() []T { return s.vals }
+
+// Insert places v at its seq position. Appending the highest seq — the
+// common case for submission-ordered sets — touches nothing else.
+func (s *SeqSet[T]) Insert(seq uint64, v T) {
+	i := sort.Search(len(s.seqs), func(i int) bool { return s.seqs[i] > seq })
+	var zero T
+	s.vals = append(s.vals, zero)
+	s.seqs = append(s.seqs, 0)
+	copy(s.vals[i+1:], s.vals[i:])
+	copy(s.seqs[i+1:], s.seqs[i:])
+	s.vals[i] = v
+	s.seqs[i] = seq
+}
+
+// Remove drops and returns the value with the given seq; a missing seq
+// panics, as it indicates corrupted framework bookkeeping.
+func (s *SeqSet[T]) Remove(seq uint64) T {
+	i := sort.Search(len(s.seqs), func(i int) bool { return s.seqs[i] >= seq })
+	if i == len(s.seqs) || s.seqs[i] != seq {
+		panic(fmt.Sprintf("framework: seq set missing %d", seq))
+	}
+	v := s.vals[i]
+	var zero T
+	copy(s.vals[i:], s.vals[i+1:])
+	copy(s.seqs[i:], s.seqs[i+1:])
+	s.vals[len(s.vals)-1] = zero
+	s.vals = s.vals[:len(s.vals)-1]
+	s.seqs = s.seqs[:len(s.seqs)-1]
+	return v
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"testing"
+
+	"meryn/internal/sim"
+)
+
+// BenchmarkGaugeAdd measures the gauge mirror path: one up/down pair at
+// distinct instants, the pattern core emits on segment open/close.
+func BenchmarkGaugeAdd(b *testing.B) {
+	g := NewGauge("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := sim.Time(i) * 2
+		g.Add(t, 1)
+		g.Add(t+1, -1)
+	}
+}
+
+// BenchmarkSeriesRecordSameInstant measures same-instant coalescing:
+// repeated samples at one time must overwrite, not append.
+func BenchmarkSeriesRecordSameInstant(b *testing.B) {
+	s := NewSeries("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(1, float64(i))
+	}
+	if s.Len() != 1 {
+		b.Fatalf("len = %d, want 1", s.Len())
+	}
+}
