@@ -7,10 +7,12 @@
 // Usage:
 //
 //	meryn-sim                           # paper workload, Meryn policy
+//	meryn-sim -list                     # experiments + sweep axes catalogue
 //	meryn-sim -policy static            # the baseline
 //	meryn-sim -vc1-apps 60 -chart       # heavier load, ASCII usage chart
 //	meryn-sim -trace workload.csv       # replay a trace file
 //	meryn-sim -csv usage.csv            # dump usage series for plotting
+//	meryn-sim -services -svc-burst 2.5  # elastic latency-SLO services demo
 //	meryn-sim -sweep default            # stock policy x load sweep
 //	meryn-sim -sweep "ia=4,5,7 reps=10" -workers 8 -json sweep.json
 package main
@@ -41,6 +43,11 @@ func main() {
 		chart     = flag.Bool("chart", false, "print the VM-usage ASCII chart")
 		csvOut    = flag.String("csv", "", "write the usage series as CSV to this file")
 		hier      = flag.Bool("hierarchy", false, "deploy the Snooze-like hierarchical management plane")
+		services  = flag.Bool("services", false, "run the elastic latency-SLO services demo scenario instead of the batch workload")
+		svcLoad   = flag.Float64("svc-load", 1, "services demo: offered-load multiplier")
+		svcBurst  = flag.Float64("svc-burst", 2.5, "services demo: burst amplitude (1 = no bursts)")
+		svcPolicy = flag.String("svc-policy", "scaleout", "services demo: replica policy (noop or scaleout)")
+		listExps  = flag.Bool("list", false, "list registered experiments and sweep axes, then exit")
 		sweepSpec = flag.String("sweep", "", `run a scenario matrix instead of one run: "default" or e.g. "policy=meryn,static ia=4,5 load=50 reps=5"`)
 		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 		reps      = flag.Int("reps", 0, "seed replications per sweep cell (0 = matrix default)")
@@ -48,16 +55,29 @@ func main() {
 	)
 	flag.Parse()
 
-	// -sweep selects a different mode with its own flag set; reject
-	// combinations that would otherwise be silently ignored.
+	if *listExps {
+		printCatalog()
+		return
+	}
+
+	// -sweep and -services select different modes with their own flag
+	// sets; reject combinations that would otherwise be silently ignored.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	sweepOnly := []string{"workers", "reps", "json"}
-	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy"}
+	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy", "services", "svc-load", "svc-burst", "svc-policy"}
+	servicesOnly := []string{"svc-load", "svc-burst", "svc-policy"}
 	if *sweepSpec == "" {
 		for _, name := range sweepOnly {
 			if set[name] {
 				fatal(fmt.Errorf("-%s only applies with -sweep", name))
+			}
+		}
+		if !*services {
+			for _, name := range servicesOnly {
+				if set[name] {
+					fatal(fmt.Errorf("-%s only applies with -services", name))
+				}
 			}
 		}
 	} else {
@@ -67,6 +87,16 @@ func main() {
 			}
 		}
 		runSweep(*sweepSpec, *seed, exp.Options{Workers: *workers, Reps: *reps}, *jsonPath)
+		return
+	}
+
+	if *services {
+		for _, name := range []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "hierarchy"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s does not apply with -services (use -svc-load/-svc-burst/-svc-policy)", name))
+			}
+		}
+		runServicesDemo(*seed, *svcPolicy, *svcLoad, *svcBurst, *chart, *csvOut)
 		return
 	}
 
@@ -141,6 +171,71 @@ func main() {
 	}
 }
 
+// printCatalog enumerates the registered experiments and the axes the
+// two sweep grids accept, so valid -sweep values need no source dive.
+func printCatalog() {
+	fmt.Println("Experiments (run with meryn-bench -exp <name>, or meryn-sim -sweep/-services):")
+	for _, e := range exp.All() {
+		fmt.Printf("  %-12s %s\n", e.Name, e.Artifact)
+	}
+	fmt.Println("\nSweep axes (-sweep \"key=v1,v2 ...\"):")
+	fmt.Println("  policy        meryn | static")
+	fmt.Println("  interarrival  per-stream arrival gap [s] (alias: ia)")
+	fmt.Println("  cluster       total private VMs, split across the two VCs")
+	fmt.Println("  load          applications submitted to VC1")
+	fmt.Println("  reps          seed replications per cell")
+	fmt.Println("  seed          base seed for per-run seed derivation")
+	fmt.Println("  name          label for reports and JSON")
+	fmt.Println("\nServices grid axes (meryn-bench -exp services; single run: meryn-sim -services):")
+	m := exp.DefaultServicesMatrix()
+	fmt.Printf("  load   offered-load multipliers     (default %v)\n", m.Loads)
+	fmt.Printf("  policy replica policies             (default %v)\n", m.Policies)
+	fmt.Printf("  burst  burst amplitude factors      (default %v)\n", m.Bursts)
+	fmt.Printf("  reps   seed replications per cell   (default %d)\n", m.Reps)
+}
+
+// runServicesDemo executes one cell of the services scenario and prints
+// the run summary with the per-type breakdown.
+func runServicesDemo(seed int64, policy string, load, burst float64, chart bool, csvOut string) {
+	if policy != exp.ReplicaPolicyNoop && policy != exp.ReplicaPolicyScaleOut {
+		fatal(fmt.Errorf("unknown replica policy %q (want noop or scaleout)", policy))
+	}
+	s := exp.ServiceScenario(exp.ServiceScenarioConfig{
+		Seed: seed, Policy: policy, LoadMult: load, BurstAmp: burst,
+	})
+	res, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("services demo: policy=%s load=%g burst=%g seed=%d\n\n", policy, load, burst, seed)
+	printSummary(res)
+	fmt.Printf("service elasticity: scale-outs=%d scale-ins=%d bid-reclaims=%d\n",
+		res.Counters.ReplicaScaleOuts.Count, res.Counters.ReplicaScaleIns.Count,
+		res.Counters.ReplicaReclaims.Count)
+	if chart {
+		c := report.Chart{
+			Title:  "Used VMs over time (services demo)",
+			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
+			YLabel: "used VMs",
+		}
+		fmt.Println()
+		if err := c.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.SeriesCSV(f, sim.Seconds(10), res.PrivateSeries, res.CloudSeries); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nusage series written to %s\n", csvOut)
+	}
+}
+
 // runSweep expands, executes and reports a scenario matrix.
 func runSweep(spec string, seed int64, opt exp.Options, jsonPath string) {
 	if spec == "default" {
@@ -202,6 +297,14 @@ func printSummary(res *meryn.Results) {
 			a.PlacementCounts[metrics.PlacementLocal],
 			a.PlacementCounts[metrics.PlacementVC],
 			a.PlacementCounts[metrics.PlacementCloud])
+	}
+
+	// Mixed-framework runs get the per-type economics table.
+	if len(res.Ledger.Types()) > 1 {
+		fmt.Println()
+		if err := report.BreakdownByType(res.Ledger.All()).Render(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

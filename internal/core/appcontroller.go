@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
+
 	"meryn/internal/framework"
+	"meryn/internal/framework/service"
 	"meryn/internal/sim"
 )
 
@@ -58,7 +61,11 @@ func (e *ScaleOutEnforcer) OnViolation(cm *ClusterManager, _ string, projected b
 }
 
 // AppController monitors one application's execution progress and SLA
-// satisfaction until the end of its execution (paper §3.2/§3.3).
+// satisfaction until the end of its execution (paper §3.2/§3.3). For
+// service applications it additionally runs the elasticity loop:
+// tracking rolling latency percentiles against the contract SLO,
+// steering the service's replica target, and invoking the Enforcer when
+// local capacity cannot cover the target before the SLO burns.
 type AppController struct {
 	cm   *ClusterManager
 	st   *appState
@@ -66,6 +73,12 @@ type AppController struct {
 
 	reportedProjected bool
 	reportedViolation bool
+
+	// sloArmed re-arms SLO projections: unlike the one-shot deadline
+	// projection, latency pressure recurs with every burst, so the
+	// enforcer fires once per pressure episode (armed on shortfall,
+	// disarmed when the target is met again).
+	sloArmed bool
 }
 
 // newAppController starts monitoring; the controller lives until the
@@ -81,6 +94,10 @@ func (ac *AppController) check() {
 	st := ac.st
 	if st.job == nil || st.job.State == framework.JobDone {
 		ac.stop()
+		return
+	}
+	if st.contract.SLO != nil {
+		ac.checkService()
 		return
 	}
 	now := ac.cm.p.Eng.Now()
@@ -121,6 +138,87 @@ func (ac *AppController) reportProjected() {
 	ac.reportedProjected = true
 	ac.cm.p.Counters.Projected.Inc()
 	ac.cm.p.cfg.Enforcer.OnViolation(ac.cm, ac.st.app.ID, true)
+}
+
+// checkService runs the service elasticity loop: pull the framework's
+// latency and burn accounting into the record, recompute the replica
+// target from the offered load, and escalate to the Enforcer when the
+// VC cannot cover the target from attached capacity.
+func (ac *AppController) checkService() {
+	cm := ac.cm
+	svc := cm.serviceFW()
+	if svc == nil {
+		return
+	}
+	id := ac.st.app.ID
+	stats, err := svc.ServiceStats(id)
+	if err != nil {
+		return
+	}
+	rec := ac.st.rec
+	rec.SLOIntervals, rec.SLOBurned = stats.Intervals, stats.Burned
+	if stats.PeakReplicas > rec.PeakReplicas {
+		rec.PeakReplicas = stats.PeakReplicas
+	}
+	if ac.st.job.State != framework.JobRunning {
+		// Queued or suspended: every tick burns; placement machinery and
+		// victim resume own the recovery.
+		return
+	}
+
+	target := ac.desiredReplicas(stats)
+	if target != stats.Target {
+		if target > stats.Target {
+			cm.p.Counters.ReplicaScaleOuts.Inc()
+		} else {
+			cm.p.Counters.ReplicaScaleIns.Inc()
+		}
+		_ = svc.SetTargetReplicas(id, target)
+	}
+	cur := ac.st.job.Replicas // after any synchronous growth or shrink
+	if cur >= target {
+		ac.sloArmed = false
+		// Scale-in (or an earlier boost overshooting) can strand idle
+		// cloud VMs; release them promptly rather than at the next
+		// completion.
+		cm.gcIdleCloud()
+		return
+	}
+	// Shortfall: the VC's free capacity could not cover the target. Ask
+	// the Enforcer to intervene (e.g. lease cloud VMs) once per episode,
+	// before the burn accrues further.
+	if !ac.sloArmed {
+		ac.sloArmed = true
+		cm.p.Counters.Projected.Inc()
+		cm.p.cfg.Enforcer.OnViolation(cm, id, true)
+	}
+}
+
+// desiredReplicas inverts the latency model at the current offered rate:
+// the smallest replica count whose utilization keeps the p95 under the
+// contracted target (p95 = 3*S0/(1-rho) <= T  =>  rho <= 1 - 3*S0/T),
+// with 10% load headroom so the target leads the next tick's drift, and
+// the scale-out episodes capped by the negotiation's proposal bound.
+func (ac *AppController) desiredReplicas(stats service.Stats) int {
+	st := ac.st
+	mu := st.job.SvcRate * ac.cm.p.cfg.ConservativeSpeed
+	t95 := sim.ToSeconds(st.contract.SLO.TargetP95)
+	rhoStar := 1 - 3/mu/t95
+	if rhoStar < 0.1 {
+		rhoStar = 0.1
+	}
+	n := int(math.Ceil(1.1 * stats.OfferedRate / (mu * rhoStar)))
+	if n < 1 {
+		n = 1
+	}
+	limit := ac.cm.p.cfg.SLAScaleOutLimit
+	if limit < 1 {
+		limit = 1
+	}
+	if bound := st.contract.NumVMs * limit; n > bound {
+		n = bound
+	}
+	return n
 }
 
 // stop cancels the monitor.

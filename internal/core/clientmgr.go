@@ -46,6 +46,7 @@ func (c *ClientManager) Submit(app workload.App) {
 	rec := c.p.Ledger.Open(app.ID)
 	rec.SubmitTime = c.p.Eng.Now()
 	rec.VC = cm.Name()
+	rec.Type = string(cm.cfg.Type)
 	c.p.Eng.Schedule(cm.lat(c.p.cfg.Latencies.ClientTransfer), func() {
 		cm.handleSubmission(app)
 	})

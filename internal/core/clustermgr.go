@@ -7,6 +7,7 @@ import (
 	"meryn/internal/framework"
 	"meryn/internal/framework/batch"
 	"meryn/internal/framework/mapreduce"
+	"meryn/internal/framework/service"
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
 	"meryn/internal/sla"
@@ -43,6 +44,12 @@ type appState struct {
 	// loan is non-nil when the app runs on VMs borrowed under a
 	// suspension-backed loan that must be returned at completion.
 	loan *loan
+
+	// lastReplicas mirrors the framework's current replica count for
+	// service applications (maintained through OnStart/OnScale), so
+	// avail bookkeeping and suspension accounting see elastic growth
+	// and shrink. Always 0 for batch/mapreduce applications.
+	lastReplicas int
 
 	controller *AppController
 }
@@ -111,6 +118,7 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 		OnSuspend: cm.onJobSuspend,
 		OnFinish:  cm.onJobFinish,
 		OnRequeue: cm.onJobRequeue,
+		OnScale:   cm.onJobScale,
 	}
 	cm.segVisit = func(id string) bool {
 		if info, ok := cm.nodes[id]; ok {
@@ -152,6 +160,20 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 			MaxPenaltyFrac:    p.cfg.MaxPenaltyFrac,
 			SlotsPerNode:      slots,
 			ScaleOutLimit:     p.cfg.SLAScaleOutLimit,
+		}
+	case workload.TypeService:
+		cm.fw = service.New(p.Eng, service.Config{
+			Name: cfg.Name, Image: cfg.Name + ".img", Tick: p.cfg.ServiceTick, Events: events,
+		})
+		cm.ad = &ServiceAdapter{
+			ConservativeSpeed: p.cfg.ConservativeSpeed,
+			Processing:        sim.Seconds(p.cfg.ProcessingEstimate),
+			VMPrice:           p.cfg.UserVMPrice,
+			PenaltyN:          p.cfg.PenaltyN,
+			MaxPenaltyFrac:    p.cfg.MaxPenaltyFrac,
+			ScaleOutLimit:     p.cfg.SLAScaleOutLimit,
+			Availability:      p.cfg.ServiceAvailability,
+			Interval:          p.cfg.ServiceTick,
 		}
 	default:
 		return nil, fmt.Errorf("core: unsupported VC type %q", cfg.Type)
@@ -333,9 +355,19 @@ func (cm *ClusterManager) onJobStart(j *framework.Job) {
 	if st == nil {
 		return
 	}
+	st.rec.StartTime = j.StartedAt // framework sets this once, at first start
+	st.lastReplicas = j.Replicas   // 0 except for service jobs
+	if j.Replicas > st.rec.PeakReplicas {
+		st.rec.PeakReplicas = j.Replicas
+	}
+	cm.openSegment(st, j)
+}
+
+// openSegment captures the job's current node kinds and cost rates and
+// moves the usage gauges once with the whole delta.
+func (cm *ClusterManager) openSegment(st *appState, j *framework.Job) {
 	now := cm.p.Eng.Now()
 	st.segStart = now
-	st.rec.StartTime = j.StartedAt // framework sets this once, at first start
 	// Rates accumulate in the framework's deterministic visit order, so
 	// the float sum reproduces run to run.
 	cm.segAccum.cloudN, cm.segAccum.privateN, cm.segAccum.rate = 0, 0, 0
@@ -347,6 +379,25 @@ func (cm *ClusterManager) onJobStart(j *framework.Job) {
 	}
 	if st.segPrivateN > 0 {
 		cm.p.PrivateUsed.Add(now, st.segPrivateN)
+	}
+}
+
+// onJobScale reacts to a running job's node set changing in place
+// (service replica growth, shrink, or surviving a node crash): the cost
+// segment closes at the old rate and reopens at the new node set, and
+// avail absorbs the footprint delta — replicas beyond the committed
+// count consume uncommitted capacity, shrinking returns it.
+func (cm *ClusterManager) onJobScale(j *framework.Job) {
+	st := cm.apps[j.ID]
+	if st == nil {
+		return
+	}
+	cm.closeSegment(st)
+	cm.openSegment(st, j)
+	cm.avail -= j.Replicas - st.lastReplicas
+	st.lastReplicas = j.Replicas
+	if j.Replicas > st.rec.PeakReplicas {
+		st.rec.PeakReplicas = j.Replicas
 	}
 }
 
@@ -379,16 +430,23 @@ func (cm *ClusterManager) onJobSuspend(j *framework.Job) {
 	}
 	st.rec.Suspended = true
 	cm.closeSegment(st)
+	st.lastReplicas = 0 // a suspended service holds no replicas
 }
 
 // onJobRequeue closes the segment of a job that lost its nodes to a
-// crash; the provider still pays for the consumed VM time.
+// crash; the provider still pays for the consumed VM time. A requeued
+// service re-books its contracted footprint: it lost everything and
+// will restart at the contracted replica count from the free pool.
 func (cm *ClusterManager) onJobRequeue(j *framework.Job) {
 	st := cm.apps[j.ID]
 	if st == nil {
 		return
 	}
 	cm.closeSegment(st)
+	if st.contract.SLO != nil {
+		cm.avail -= st.contract.NumVMs - st.lastReplicas
+		st.lastReplicas = st.contract.NumVMs
+	}
 }
 
 // handleNodeCrash reacts to a private VM crash: detach the node, let the
@@ -428,13 +486,21 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 	now := cm.p.Eng.Now()
 	cm.closeSegment(st)
 	st.rec.EndTime = now
-	if delay := st.rec.Delay(); delay > 0 {
+	if st.contract.SLO != nil {
+		cm.settleSLO(st, j)
+	} else if delay := st.rec.Delay(); delay > 0 {
 		st.rec.Penalty = st.contract.PenaltyFor(delay)
 	}
 	if st.controller != nil {
 		st.controller.stop()
 	}
 	cm.avail += st.contract.NumVMs
+	if st.contract.SLO != nil {
+		// The framework released the *current* replica set, not the
+		// contracted one; square avail with the elastic footprint.
+		cm.avail += st.lastReplicas - st.contract.NumVMs
+		st.lastReplicas = 0
+	}
 	cm.p.appSettled()
 
 	// Release idle cloud VMs first so they never masquerade as free
@@ -449,6 +515,22 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 	// Resume suspended victims now that capacity freed up.
 	cm.tryResumeVictims()
 	cm.retryPending()
+}
+
+// settleSLO closes a service contract: final burn accounting from the
+// framework and the accumulated-burn penalty (Eq. 3 generalized) in
+// place of the one-shot delay penalty.
+func (cm *ClusterManager) settleSLO(st *appState, j *framework.Job) {
+	st.rec.SLOTarget = j.TargetP95
+	if svc := cm.serviceFW(); svc != nil {
+		if stats, err := svc.ServiceStats(j.ID); err == nil {
+			st.rec.SLOIntervals, st.rec.SLOBurned = stats.Intervals, stats.Burned
+			if stats.PeakReplicas > st.rec.PeakReplicas {
+				st.rec.PeakReplicas = stats.PeakReplicas
+			}
+		}
+	}
+	st.rec.Penalty = st.contract.SLOPenalty(st.rec.SLOIntervals, st.rec.SLOBurned)
 }
 
 // gcIdleCloud releases every attached cloud node that is idle, in one

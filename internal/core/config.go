@@ -108,6 +108,12 @@ type VCConfig struct {
 	Backfill bool
 }
 
+// Fallback service-framework parameters.
+const (
+	defaultServiceTickS        = 10.0
+	defaultServiceAvailability = 0.95
+)
+
 // Config assembles a Meryn platform.
 type Config struct {
 	Seed   int64
@@ -166,6 +172,13 @@ type Config struct {
 	// MonitorInterval is the Application Controller check period
 	// (default 30 s).
 	MonitorInterval sim.Time
+	// ServiceTick is the service frameworks' SLO evaluation interval:
+	// how often offered load is sampled, p95 recomputed and burn
+	// accounted (default 10 s).
+	ServiceTick sim.Time
+	// ServiceAvailability is the clean-interval fraction service SLO
+	// contracts require (default 0.95).
+	ServiceAvailability float64
 	// MetricsMaxPoints, when non-zero, caps each usage series
 	// (private-used, cloud-used) via downsampling — useful for long
 	// sweeps where exact per-event series would dominate memory. 0 (the
@@ -267,6 +280,15 @@ func (c *Config) fillDefaults() error {
 	if c.MonitorInterval == 0 {
 		c.MonitorInterval = d.MonitorInterval
 	}
+	if c.ServiceTick == 0 {
+		c.ServiceTick = sim.Seconds(defaultServiceTickS)
+	}
+	if c.ServiceAvailability == 0 {
+		c.ServiceAvailability = defaultServiceAvailability
+	}
+	if c.ServiceAvailability < 0 || c.ServiceAvailability > 1 {
+		return fmt.Errorf("core: ServiceAvailability %g outside (0,1]", c.ServiceAvailability)
+	}
 	if c.Enforcer == nil {
 		c.Enforcer = NoopEnforcer{}
 	}
@@ -286,7 +308,7 @@ func (c *Config) fillDefaults() error {
 			return fmt.Errorf("core: duplicate VC name %q", vc.Name)
 		}
 		seen[vc.Name] = true
-		if vc.Type != workload.TypeBatch && vc.Type != workload.TypeMapReduce {
+		if vc.Type != workload.TypeBatch && vc.Type != workload.TypeMapReduce && vc.Type != workload.TypeService {
 			return fmt.Errorf("core: VC %q has unsupported type %q", vc.Name, vc.Type)
 		}
 		if vc.InitialVMs < 0 {

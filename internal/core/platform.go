@@ -27,6 +27,11 @@ type Counters struct {
 	Projected      metrics.Counter // projected (early-warning) violations
 	NodeCrashes    metrics.Counter // private VM crashes observed by CMs
 	Replacements   metrics.Counter // replacement VMs provisioned after crashes
+
+	// Service elasticity activity.
+	ReplicaScaleOuts metrics.Counter // controller-driven target raises
+	ReplicaScaleIns  metrics.Counter // controller-driven target cuts
+	ReplicaReclaims  metrics.Counter // replicas reclaimed by winning bids
 }
 
 // Platform is one assembled Meryn deployment: engine, substrates,

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"meryn/internal/cloud"
+	"meryn/internal/framework"
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
 	"meryn/internal/vmm"
@@ -13,8 +14,19 @@ import (
 // Bid is a Cluster Manager's answer to a bid computation request.
 type Bid struct {
 	OK       bool    // the VC can provide the VMs
-	Cost     float64 // estimated revenue loss (0 = free VMs available)
-	VictimID string  // application to suspend when Cost > 0
+	Cost     float64 // estimated revenue loss (0 = free VMs, or free-to-shrink service)
+	VictimID string  // application to suspend or shrink ("" = VMs already free)
+	Shrink   bool    // the victim yields replicas by shrinking, not by suspending
+}
+
+// ReclaimBidder is the bid computation of VCs that yield resources by
+// shrinking running applications instead of suspending them — the
+// service framework's Algorithm-2 generalization. When a Cluster
+// Manager's adapter implements it, ComputeBid and the local bid price
+// replica reclamation (projected SLO-penalty loss) in place of the
+// suspension bid.
+type ReclaimBidder interface {
+	ReclaimBid(cm *ClusterManager, n int, duration sim.Time) Bid
 }
 
 // selectResources implements paper Algorithm 1. The five options:
@@ -57,7 +69,10 @@ func (cm *ClusterManager) decideWithBids(st *appState) {
 		return
 	}
 
-	// Option 2: any peer with free VMs bids zero.
+	// Option 2: any peer with free VMs bids zero with no victim. A
+	// zero-cost bid naming a victim (a service with SLO headroom) is
+	// still a yield, so it competes with the local bid below instead of
+	// short-circuiting.
 	var (
 		bestPeer    *ClusterManager
 		bestPeerBid = Bid{Cost: math.Inf(1)}
@@ -67,8 +82,8 @@ func (cm *ClusterManager) decideWithBids(st *appState) {
 		if !bid.OK {
 			continue
 		}
-		if bid.Cost == 0 {
-			cm.acquireFromVC(peer, st, "")
+		if bid.Cost == 0 && bid.VictimID == "" {
+			cm.acquireFromVC(peer, st, bid)
 			return
 		}
 		if bid.Cost < bestPeerBid.Cost {
@@ -83,9 +98,9 @@ func (cm *ClusterManager) decideWithBids(st *appState) {
 	// VC, then cloud.
 	switch {
 	case localBid.OK && localBid.Cost <= bestPeerBid.Cost && localBid.Cost <= cloudBid:
-		cm.suspendLocalAndRun(st, localBid.VictimID)
+		cm.yieldLocalAndRun(st, localBid)
 	case bestPeer != nil && bestPeerBid.Cost <= cloudBid:
-		cm.acquireFromVC(bestPeer, st, bestPeerBid.VictimID)
+		cm.acquireFromVC(bestPeer, st, bestPeerBid)
 	case cloudProvider != nil:
 		cm.burstToCloudVia(st, cloudProvider, cloudType)
 	default:
@@ -96,8 +111,10 @@ func (cm *ClusterManager) decideWithBids(st *appState) {
 }
 
 // ComputeBid implements paper Algorithm 2 generalized over frameworks:
-// zero when free VMs exist, otherwise the smallest estimated suspension
-// cost over running applications holding at least n VMs.
+// zero when free VMs exist, otherwise the smallest estimated yield cost
+// — suspending a running application holding at least n VMs, or (for
+// service VCs) shrinking a service by n replicas at the projected
+// SLO-penalty loss.
 func (cm *ClusterManager) ComputeBid(n int, duration sim.Time) Bid {
 	if cm.avail >= n {
 		return Bid{OK: true, Cost: 0}
@@ -105,14 +122,20 @@ func (cm *ClusterManager) ComputeBid(n int, duration sim.Time) Bid {
 	if cm.p.cfg.DisableSuspension {
 		return Bid{}
 	}
+	if rb, ok := cm.ad.(ReclaimBidder); ok {
+		return rb.ReclaimBid(cm, n, duration)
+	}
 	return cm.suspensionBid(n, duration)
 }
 
 // localBid is the requesting CM's own bid (option 3); free local VMs
-// were already ruled out, so only suspension remains.
+// were already ruled out, so only a yield remains.
 func (cm *ClusterManager) localBid(n int, duration sim.Time) Bid {
 	if cm.p.cfg.DisableSuspension {
 		return Bid{}
+	}
+	if rb, ok := cm.ad.(ReclaimBidder); ok {
+		return rb.ReclaimBid(cm, n, duration)
 	}
 	return cm.suspensionBid(n, duration)
 }
@@ -177,18 +200,30 @@ func (cm *ClusterManager) cheapestCloud(n int, duration sim.Time) (*cloud.Provid
 	return bestP, bestType, bestCost
 }
 
-// suspendLocalAndRun implements option 3: suspend a local victim and run
-// the new application on the freed VMs.
-func (cm *ClusterManager) suspendLocalAndRun(st *appState, victimID string) {
+// yieldLocalAndRun implements option 3: make a local victim yield
+// (suspend it, or shrink it when the bid says so) and run the new
+// application on the freed VMs.
+func (cm *ClusterManager) yieldLocalAndRun(st *appState, bid Bid) {
+	n := st.contract.NumVMs
 	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.SuspendLocal), func() {
-		if !cm.suspendVictim(cm, victimID) || cm.avail < st.contract.NumVMs {
-			// The victim vanished (finished or already suspended by a
+		if !cm.yieldVictim(cm, bid, n) || cm.avail < n {
+			// The victim vanished (finished or already yielded to a
 			// concurrent decision); re-run the protocol.
 			cm.selectResources(st)
 			return
 		}
 		cm.commit(st, metrics.PlacementLocal)
 	})
+}
+
+// yieldVictim makes an application on the owner CM give up n VMs:
+// suspension for batch/mapreduce victims, replica shrinking for
+// services. It reports false when the victim can no longer yield.
+func (cm *ClusterManager) yieldVictim(owner *ClusterManager, bid Bid, n int) bool {
+	if bid.Shrink {
+		return cm.shrinkVictim(owner, bid.VictimID, n)
+	}
+	return cm.suspendVictim(owner, bid.VictimID)
 }
 
 // suspendVictim suspends an application on the owner CM and updates the
@@ -201,20 +236,54 @@ func (cm *ClusterManager) suspendVictim(owner *ClusterManager, victimID string) 
 	if !ok || vs.job == nil {
 		return false
 	}
+	released := vs.contract.NumVMs
+	if vs.contract.SLO != nil {
+		// An elastic service frees its *current* replica set; it will
+		// restart at the contracted count.
+		released = vs.lastReplicas
+	}
 	if err := owner.fw.Suspend(victimID); err != nil {
 		return false
 	}
-	owner.avail += vs.contract.NumVMs
+	owner.avail += released
 	owner.victims = append(owner.victims, victim{appID: victimID, vms: vs.contract.NumVMs})
 	cm.p.Counters.Suspensions.Inc()
+	return true
+}
+
+// shrinkVictim reclaims n replicas from a running service on the owner
+// CM. The framework's OnScale notification updates the owner's avail
+// and accounting; the freed nodes join the owner's free index, where
+// the requester picks them up (locally, or through the VM-exchange
+// detach). It reports false when the service can no longer yield n.
+func (cm *ClusterManager) shrinkVictim(owner *ClusterManager, victimID string, n int) bool {
+	vs, ok := owner.apps[victimID]
+	if !ok || vs.job == nil || vs.job.State != framework.JobRunning || vs.job.Replicas-n < 1 {
+		return false
+	}
+	svc := owner.serviceFW()
+	if svc == nil {
+		return false
+	}
+	// Re-verify (the replica mix may have shifted since the bid) that
+	// the shrink frees transferable private hosts, not cloud leases.
+	if private, _, err := svc.ReplicaKinds(victimID); err != nil || private < n {
+		return false
+	}
+	if err := svc.Shrink(victimID, n); err != nil {
+		return false
+	}
+	cm.p.Counters.ReplicaReclaims.AddN(int64(n))
 	return true
 }
 
 // acquireFromVC implements options 2 and 4 (paper §3.4): the source CM
 // removes VMs from its framework and shuts them down; the destination CM
 // starts fresh VMs with its own image, configures them and adds them to
-// its framework.
-func (cm *ClusterManager) acquireFromVC(peer *ClusterManager, st *appState, victimID string) {
+// its framework. When the bid names a victim, it yields first —
+// suspension for batch/mapreduce lenders, replica shrinking for service
+// lenders.
+func (cm *ClusterManager) acquireFromVC(peer *ClusterManager, st *appState, bid Bid) {
 	n := st.contract.NumVMs
 	proceed := func() {
 		if peer.avail < n || peer.freePrivateCount() < n {
@@ -228,8 +297,8 @@ func (cm *ClusterManager) acquireFromVC(peer *ClusterManager, st *appState, vict
 			panic(fmt.Sprintf("core: %s promised %d free private VMs, found %d", peer.name, n, len(ids)))
 		}
 		var ln *loan
-		if victimID != "" {
-			ln = &loan{lender: peer, borrower: cm, n: n, victimID: victimID}
+		if bid.VictimID != "" {
+			ln = &loan{lender: peer, borrower: cm, n: n, victimID: bid.VictimID}
 		}
 		cm.p.RM.StopPrivate(ids, func(err error) {
 			if err != nil {
@@ -240,12 +309,12 @@ func (cm *ClusterManager) acquireFromVC(peer *ClusterManager, st *appState, vict
 			cm.receiveTransferredVMs(st, n, ln)
 		})
 	}
-	if victimID == "" {
+	if bid.VictimID == "" {
 		proceed()
 		return
 	}
 	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.SuspendRemote), func() {
-		if !cm.suspendVictim(peer, victimID) {
+		if !cm.yieldVictim(peer, bid, n) {
 			cm.selectResources(st)
 			return
 		}

@@ -88,6 +88,11 @@ func All() []Experiment {
 		{Name: "realistic", Artifact: "Extension: realistic datacenter workloads (paper §7)", Run: func(seed int64, opt Options) (Renderable, error) {
 			return AblationRealistic(seed, opt)
 		}},
+		{Name: "services", Artifact: "Extension: elastic latency-SLO services (load x policy x burst)", Run: func(seed int64, opt Options) (Renderable, error) {
+			m := DefaultServicesMatrix()
+			m.BaseSeed = seed
+			return m.Services(opt)
+		}},
 		{Name: "sweep", Artifact: "Parallel matrix sweep (policy x load, mean ±CI)", Run: func(seed int64, opt Options) (Renderable, error) {
 			m := DefaultMatrix()
 			m.BaseSeed = seed

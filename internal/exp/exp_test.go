@@ -290,7 +290,7 @@ func TestAblationRealisticMerynWins(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
+	if len(all) != 11 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	if _, ok := Find("fig5"); !ok {

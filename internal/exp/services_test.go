@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestServicesExperimentRegistered(t *testing.T) {
+	e, ok := Find("services")
+	if !ok {
+		t.Fatal("services experiment not registered")
+	}
+	if !strings.Contains(e.Artifact, "latency-SLO") {
+		t.Fatalf("artifact = %q", e.Artifact)
+	}
+}
+
+// TestServicesJSONWorkerInvariance is the harness determinism
+// guarantee extended to the services grid: byte-identical JSON whatever
+// the worker count.
+func TestServicesJSONWorkerInvariance(t *testing.T) {
+	m := ServicesMatrix{
+		Loads:    []float64{1},
+		Policies: []string{ReplicaPolicyNoop, ReplicaPolicyScaleOut},
+		Bursts:   []float64{2.5},
+		Reps:     2,
+		BaseSeed: 3,
+	}
+	r1, err := m.Services(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := m.Services(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := r4.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Fatalf("services JSON differs across worker counts:\n%s\nvs\n%s", j1, j4)
+	}
+}
+
+// TestServicesGridShape checks the grid expands cell-major with
+// derived per-run seeds, and the scaleout policy earns its keep under
+// bursty load (attainment at least matches noop).
+func TestServicesGridShape(t *testing.T) {
+	m := ServicesMatrix{
+		Loads:    []float64{1},
+		Policies: []string{ReplicaPolicyNoop, ReplicaPolicyScaleOut},
+		Bursts:   []float64{2.5},
+		Reps:     2,
+		BaseSeed: 1,
+	}
+	runs := m.withDefaults().expand()
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(runs))
+	}
+	if runs[0].seed == runs[1].seed || runs[0].seed == runs[2].seed {
+		t.Fatal("derived seeds collide across reps/cells")
+	}
+	res, err := m.Services(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	noop, scaleout := res.Cells[0], res.Cells[1]
+	if noop.Policy != ReplicaPolicyNoop || scaleout.Policy != ReplicaPolicyScaleOut {
+		t.Fatalf("cell order = %s,%s, want noop,scaleout", noop.Policy, scaleout.Policy)
+	}
+	for _, c := range res.Cells {
+		if c.Attainment.Mean <= 0 || c.Attainment.Mean > 1 {
+			t.Fatalf("%s attainment = %g, want (0,1]", c.Policy, c.Attainment.Mean)
+		}
+		if c.Cost.Mean <= 0 {
+			t.Fatalf("%s cost = %g, want > 0", c.Policy, c.Cost.Mean)
+		}
+	}
+	if scaleout.Attainment.Mean < noop.Attainment.Mean {
+		t.Fatalf("scaleout attainment %.3f below noop %.3f under bursty load",
+			scaleout.Attainment.Mean, noop.Attainment.Mean)
+	}
+	if scaleout.CloudFrac.Mean == 0 {
+		t.Fatal("scaleout policy never burst to the cloud")
+	}
+	if got := res.Render(); !strings.Contains(got, "slo attain") {
+		t.Fatalf("render missing headers:\n%s", got)
+	}
+}

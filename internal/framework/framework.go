@@ -55,13 +55,16 @@ func (s JobState) String() string {
 
 // Job is a framework-level work unit, produced by the Cluster Manager's
 // template translation (§3.3). Batch frameworks use VMs and Work;
-// MapReduce frameworks use the task fields.
+// MapReduce frameworks use the task fields; the service framework uses
+// the service shape fields.
 type Job struct {
 	ID  string
-	VMs int // dedicated nodes (batch) — the paper's scheduler configuration
+	VMs int // dedicated nodes (batch) / contracted replicas (service)
 
 	// Work is the job's size in reference CPU-seconds: execution time on
-	// a SpeedFactor-1.0 node. Used by batch frameworks.
+	// a SpeedFactor-1.0 node. Used by batch frameworks. The service
+	// framework reuses it as the contracted service lifetime in wall
+	// seconds (services elapse in real time, not CPU time).
 	Work float64
 
 	// MapReduce shape (used by the mapreduce framework).
@@ -69,6 +72,14 @@ type Job struct {
 	ReduceTasks int
 	MapWork     float64 // reference seconds per map task
 	ReduceWork  float64 // reference seconds per reduce task
+
+	// Service shape (used by the service framework). A service runs one
+	// replica per node; the framework maintains Replicas as the current
+	// replica count (it starts at VMs and changes with elastic scaling).
+	Replicas  int                      // current replicas, framework-maintained
+	SvcRate   float64                  // requests/s one replica serves at SpeedFactor 1.0
+	TargetP95 float64                  // p95 latency objective in seconds (0 = untracked)
+	Rate      func(t sim.Time) float64 // offered request rate (open-loop arrivals)
 
 	// Lifecycle, maintained by the framework.
 	State       JobState
@@ -93,6 +104,11 @@ type Events struct {
 	OnSuspend func(*Job)
 	OnResume  func(*Job) // job re-entered the queue after Resume
 	OnRequeue func(*Job) // job lost its nodes involuntarily (node failure)
+	// OnScale fires when a running job's node set changes without a
+	// lifecycle transition (elastic replica growth or shrink, or losing
+	// one node of many to a crash). The job keeps running; callers use it
+	// to re-open cost/usage accounting segments at the new node set.
+	OnScale func(*Job)
 }
 
 // Framework is what the Cluster Manager's generic part drives. All

@@ -38,6 +38,7 @@ func (p Placement) String() string {
 type AppRecord struct {
 	ID        string
 	VC        string
+	Type      string // framework/application type ("batch", "mapreduce", "service")
 	NumVMs    int
 	Placement Placement
 	Suspended bool // true if this app was suspended at least once
@@ -50,6 +51,12 @@ type AppRecord struct {
 	Price    float64  // agreed price (units)
 	Penalty  float64  // delay penalty deducted (units)
 	Cost     float64  // provider-side cost of the VMs consumed (units)
+
+	// Service SLO accounting (zero for batch/mapreduce applications).
+	SLOTarget    float64 // contracted p95 objective [s]
+	SLOIntervals int     // evaluated SLO intervals
+	SLOBurned    int     // intervals that burned (p95 over target, or downtime)
+	PeakReplicas int     // widest the service scaled
 }
 
 // ExecTime is the measured execution duration.
@@ -71,6 +78,15 @@ func (a *AppRecord) Delay() sim.Time {
 
 // MetDeadline reports whether the SLA deadline was satisfied.
 func (a *AppRecord) MetDeadline() bool { return a.Delay() == 0 }
+
+// SLOAttainment is the fraction of evaluated SLO intervals that were
+// clean; vacuously 1 for applications without SLO accounting.
+func (a *AppRecord) SLOAttainment() float64 {
+	if a.SLOIntervals == 0 {
+		return 1
+	}
+	return float64(a.SLOIntervals-a.SLOBurned) / float64(a.SLOIntervals)
+}
 
 // Revenue is what the provider actually collects: price minus penalty,
 // floored at zero (the paper's N=1 example makes revenue exactly zero).
@@ -122,6 +138,31 @@ func (l *Ledger) ByVC(vc string) []*AppRecord {
 	return out
 }
 
+// ByType returns the records of one application type.
+func (l *Ledger) ByType(t string) []*AppRecord {
+	var out []*AppRecord
+	for _, r := range l.records {
+		if r.Type == t {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Types returns the sorted set of application types present.
+func (l *Ledger) Types() []string {
+	seen := map[string]bool{}
+	for _, r := range l.records {
+		seen[r.Type] = true
+	}
+	var out []string
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // VCs returns the sorted set of VC names present in the ledger.
 func (l *Ledger) VCs() []string {
 	seen := map[string]bool{}
@@ -145,11 +186,18 @@ type Aggregate struct {
 	MeanCost        float64 // units
 	TotalCost       float64 // units
 	TotalRevenue    float64 // units
+	TotalPenalty    float64 // units
 	TotalProfit     float64 // units
 	DeadlinesMissed int
 	CompletionTime  float64 // seconds; max end time over the set
 	PlacementCounts map[Placement]int
 	SuspensionCount int
+
+	// Service SLO aggregates (over records with SLO accounting).
+	SLOApps       int
+	SLOIntervals  int
+	SLOBurned     int
+	SLOAttainment float64 // clean-interval fraction; 1 when no SLO apps
 }
 
 // Aggregate computes summary statistics over a record slice.
@@ -166,6 +214,7 @@ func AggregateRecords(recs []*AppRecord) Aggregate {
 		agg.MeanCost += r.Cost
 		agg.TotalCost += r.Cost
 		agg.TotalRevenue += r.Revenue()
+		agg.TotalPenalty += r.Penalty
 		agg.TotalProfit += r.Profit()
 		if !r.MetDeadline() {
 			agg.DeadlinesMissed++
@@ -177,11 +226,20 @@ func AggregateRecords(recs []*AppRecord) Aggregate {
 		if r.Suspended {
 			agg.SuspensionCount++
 		}
+		if r.SLOIntervals > 0 {
+			agg.SLOApps++
+			agg.SLOIntervals += r.SLOIntervals
+			agg.SLOBurned += r.SLOBurned
+		}
 	}
 	n := float64(len(recs))
 	agg.MeanExecTime /= n
 	agg.MeanTurnaround /= n
 	agg.MeanProcessing /= n
 	agg.MeanCost /= n
+	agg.SLOAttainment = 1
+	if agg.SLOIntervals > 0 {
+		agg.SLOAttainment = float64(agg.SLOIntervals-agg.SLOBurned) / float64(agg.SLOIntervals)
+	}
 	return agg
 }

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+)
+
+func TestBreakdownByType(t *testing.T) {
+	recs := []*metrics.AppRecord{
+		{ID: "b1", Type: "batch", Price: 100, Cost: 40, Deadline: sim.Seconds(100), EndTime: sim.Seconds(90)},
+		{ID: "b2", Type: "batch", Price: 100, Cost: 40, Penalty: 20, Deadline: sim.Seconds(100), EndTime: sim.Seconds(150)},
+		{ID: "m1", Type: "mapreduce", Price: 200, Cost: 90, Deadline: sim.Seconds(100), EndTime: sim.Seconds(80)},
+		{ID: "s1", Type: "service", Price: 400, Cost: 250, Penalty: 50,
+			Deadline: sim.Seconds(1000), EndTime: sim.Seconds(900),
+			SLOTarget: 1.5, SLOIntervals: 100, SLOBurned: 8},
+	}
+	var b strings.Builder
+	if err := BreakdownByType(recs).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 type rows + total.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d, want 7:\n%s", len(lines), out)
+	}
+	// Types in sorted order, total last.
+	for i, prefix := range []string{"batch", "mapreduce", "service", "total"} {
+		if !strings.HasPrefix(lines[3+i], prefix) {
+			t.Fatalf("row %d = %q, want prefix %q", i, lines[3+i], prefix)
+		}
+	}
+	if !strings.Contains(lines[3], "1") { // batch missed one deadline
+		t.Fatalf("batch row lost the deadline miss: %q", lines[3])
+	}
+	if !strings.Contains(lines[5], "0.920") { // service attainment 92/100
+		t.Fatalf("service row lost the SLO attainment: %q", lines[5])
+	}
+	// Rows without SLO accounting render a dash, not a vacuous 1.
+	if !strings.Contains(lines[3], "-") {
+		t.Fatalf("batch row should carry no attainment: %q", lines[3])
+	}
+
+	// A single-type ledger needs no total row.
+	var b2 strings.Builder
+	if err := BreakdownByType(recs[:2]).Render(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "total") {
+		t.Fatalf("single-type breakdown grew a total row:\n%s", b2.String())
+	}
+
+	// Untyped records (rejected before routing) group under "(none)".
+	var b3 strings.Builder
+	if err := BreakdownByType([]*metrics.AppRecord{{ID: "x"}}).Render(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b3.String(), "(none)") {
+		t.Fatalf("untyped records not grouped:\n%s", b3.String())
+	}
+}

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"meryn/internal/metrics"
@@ -60,6 +61,55 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// BreakdownByType condenses one run's ledger into a per-framework-type
+// economics table — apps, cost, revenue, penalty, profit, deadline
+// misses and SLO attainment per application type — so mixed
+// batch+mapreduce+service runs are legible in one place. Types appear
+// in sorted order; records with an empty type (rejected before routing)
+// group under "(none)".
+func BreakdownByType(recs []*metrics.AppRecord) *Table {
+	byType := map[string][]*metrics.AppRecord{}
+	var types []string
+	for _, r := range recs {
+		t := r.Type
+		if t == "" {
+			t = "(none)"
+		}
+		if _, seen := byType[t]; !seen {
+			types = append(types, t)
+		}
+		byType[t] = append(byType[t], r)
+	}
+	sort.Strings(types)
+	t := &Table{
+		Title: "Per-framework-type breakdown",
+		Headers: []string{
+			"type", "apps", "cost [u]", "revenue [u]", "penalty [u]", "profit [u]", "missed", "slo attain",
+		},
+	}
+	addRow := func(name string, rs []*metrics.AppRecord) {
+		agg := metrics.AggregateRecords(rs)
+		attain := "-"
+		if agg.SLOApps > 0 {
+			attain = fmt.Sprintf("%.3f", agg.SLOAttainment)
+		}
+		t.AddRow(name, fmt.Sprintf("%d", agg.N),
+			fmt.Sprintf("%.0f", agg.TotalCost),
+			fmt.Sprintf("%.0f", agg.TotalRevenue),
+			fmt.Sprintf("%.0f", agg.TotalPenalty),
+			fmt.Sprintf("%.0f", agg.TotalProfit),
+			fmt.Sprintf("%d", agg.DeadlinesMissed),
+			attain)
+	}
+	for _, name := range types {
+		addRow(name, byType[name])
+	}
+	if len(types) > 1 {
+		addRow("total", recs)
+	}
+	return t
 }
 
 // Chart renders step series as an ASCII line chart (the shape of the

@@ -11,19 +11,28 @@ import (
 // contractJSON is the wire form of a Contract: durations in seconds, the
 // unit users reason in.
 type contractJSON struct {
-	AppID          string  `json:"app_id"`
-	NumVMs         int     `json:"num_vms"`
-	DeadlineS      float64 `json:"deadline_s"`
-	Price          float64 `json:"price_units"`
-	VMPrice        float64 `json:"vm_price_units_per_s"`
-	ExecEstS       float64 `json:"exec_estimate_s"`
-	PenaltyN       float64 `json:"penalty_n"`
-	MaxPenaltyFrac float64 `json:"max_penalty_frac,omitempty"`
+	AppID          string   `json:"app_id"`
+	NumVMs         int      `json:"num_vms"`
+	DeadlineS      float64  `json:"deadline_s"`
+	Price          float64  `json:"price_units"`
+	VMPrice        float64  `json:"vm_price_units_per_s"`
+	ExecEstS       float64  `json:"exec_estimate_s"`
+	PenaltyN       float64  `json:"penalty_n"`
+	MaxPenaltyFrac float64  `json:"max_penalty_frac,omitempty"`
+	SLO            *sloJSON `json:"slo,omitempty"`
+}
+
+// sloJSON is the wire form of a service SLO.
+type sloJSON struct {
+	TargetP95S         float64 `json:"target_p95_s"`
+	Availability       float64 `json:"availability"`
+	IntervalS          float64 `json:"interval_s"`
+	PenaltyPerInterval float64 `json:"penalty_per_interval_units"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (c *Contract) MarshalJSON() ([]byte, error) {
-	return json.Marshal(contractJSON{
+	w := contractJSON{
 		AppID:          c.AppID,
 		NumVMs:         c.NumVMs,
 		DeadlineS:      sim.ToSeconds(c.Deadline),
@@ -32,7 +41,16 @@ func (c *Contract) MarshalJSON() ([]byte, error) {
 		ExecEstS:       sim.ToSeconds(c.ExecEst),
 		PenaltyN:       c.PenaltyN,
 		MaxPenaltyFrac: c.MaxPenaltyFrac,
-	})
+	}
+	if c.SLO != nil {
+		w.SLO = &sloJSON{
+			TargetP95S:         sim.ToSeconds(c.SLO.TargetP95),
+			Availability:       c.SLO.Availability,
+			IntervalS:          sim.ToSeconds(c.SLO.Interval),
+			PenaltyPerInterval: c.SLO.PenaltyPerInterval,
+		}
+	}
+	return json.Marshal(w)
 }
 
 // UnmarshalJSON implements json.Unmarshaler with validation: a contract
@@ -63,6 +81,17 @@ func (c *Contract) UnmarshalJSON(data []byte) error {
 	c.ExecEst = sim.Seconds(w.ExecEstS)
 	c.PenaltyN = w.PenaltyN
 	c.MaxPenaltyFrac = w.MaxPenaltyFrac
+	if w.SLO != nil {
+		if w.SLO.TargetP95S <= 0 || w.SLO.Availability <= 0 || w.SLO.Availability > 1 || w.SLO.IntervalS <= 0 {
+			return fmt.Errorf("sla: contract for %q has invalid SLO terms", w.AppID)
+		}
+		c.SLO = &SLO{
+			TargetP95:          sim.Seconds(w.SLO.TargetP95S),
+			Availability:       w.SLO.Availability,
+			Interval:           sim.Seconds(w.SLO.IntervalS),
+			PenaltyPerInterval: w.SLO.PenaltyPerInterval,
+		}
+	}
 	return nil
 }
 

@@ -15,10 +15,12 @@ import (
 
 // Offer is one (deadline, price) pair proposed during negotiation. The
 // deadline is relative to submission ("the overall time to run an
-// application and give results").
+// application and give results"). For service contracts (Provider.SLO
+// set) the time column is the achievable p95 latency target instead and
+// the price covers the contracted lifetime.
 type Offer struct {
 	NumVMs   int      // VMs the provider would dedicate
-	Deadline sim.Time // Eq. 1: execution time + processing time
+	Deadline sim.Time // Eq. 1: execution time + processing time (service: p95 target)
 	Price    float64  // Eq. 2: execution time * nb VMs * VM price
 }
 
@@ -38,6 +40,12 @@ type Contract struct {
 	// ("the delay penalty may be bounded ... to limit platform losses").
 	// Zero means unbounded.
 	MaxPenaltyFrac float64
+
+	// SLO, when non-nil, marks a service contract: Deadline bounds the
+	// overall completion (lifetime + processing), ExecEst carries the
+	// contracted lifetime, and penalties accrue per burned SLO interval
+	// (SLOPenalty) instead of per late completion.
+	SLO *SLO
 }
 
 // Price implements Eq. 2: price = execution_time * nb_vms * vm_price.
@@ -93,10 +101,17 @@ type Provider struct {
 	MaxPenaltyFrac float64
 	MinVMs         int // smallest VM count offered (default 1)
 	MaxVMs         int // largest VM count offered (default 1)
+
+	// SLO, when non-nil, switches the provider to service-contract
+	// negotiation: Model maps replica counts to achievable p95 latency,
+	// offers price the contracted SLO.Lifetime (not the model time), and
+	// agreed contracts carry the latency/availability SLO.
+	SLO *SLOTemplate
 }
 
 // Offers generates the provider's proposal set: one (deadline, price)
-// pair per candidate VM count.
+// pair per candidate VM count — or, for service providers, one
+// (p95 target, lifetime price) pair per candidate replica count.
 func (p *Provider) Offers() []Offer {
 	lo, hi := p.MinVMs, p.MaxVMs
 	if lo <= 0 {
@@ -105,13 +120,25 @@ func (p *Provider) Offers() []Offer {
 	if hi < lo {
 		hi = lo
 	}
+	lifetime := sim.Time(0)
+	if p.SLO != nil {
+		t, err := p.SLO.normalized()
+		if err != nil {
+			panic(err.Error())
+		}
+		lifetime = t.Lifetime
+	}
 	var out []Offer
 	for n := lo; n <= hi; n++ {
 		exec := p.Model(n)
+		priceBase := exec
+		if p.SLO != nil {
+			priceBase = lifetime
+		}
 		out = append(out, Offer{
 			NumVMs:   n,
 			Deadline: Deadline(exec, p.Processing),
-			Price:    Price(exec, n, p.VMPrice),
+			Price:    Price(priceBase, n, p.VMPrice),
 		})
 	}
 	return out
@@ -209,7 +236,7 @@ func (p *Provider) contractFor(appID string, o Offer) *Contract {
 	if n <= 0 {
 		n = 2 // the paper's balanced example value
 	}
-	return &Contract{
+	c := &Contract{
 		AppID:          appID,
 		NumVMs:         o.NumVMs,
 		Deadline:       o.Deadline,
@@ -219,6 +246,18 @@ func (p *Provider) contractFor(appID string, o Offer) *Contract {
 		PenaltyN:       n,
 		MaxPenaltyFrac: p.MaxPenaltyFrac,
 	}
+	if p.SLO != nil {
+		// Service contract: the offer's time column was the p95 target;
+		// completion is bounded by the contracted lifetime instead.
+		t, err := p.SLO.normalized()
+		if err != nil {
+			panic(err.Error())
+		}
+		c.SLO = p.sloFor(o, n)
+		c.Deadline = t.Lifetime + t.StartupGrace
+		c.ExecEst = t.Lifetime
+	}
+	return c
 }
 
 // AcceptFirst is a user that takes the first offer — the paper's

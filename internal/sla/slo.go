@@ -1,0 +1,124 @@
+// Latency/availability SLOs for long-running services. The paper's SLA
+// carries two metrics, deadline and price; SLO-ML (Elhabbash et al.)
+// argues latency and availability need the same first-class treatment
+// for service workloads. This file generalizes the contract form: a
+// service contract still negotiates (target, price) pairs through the
+// §4.2.1 protocol — the offer's time column is a p95 latency target
+// instead of a deadline — and its Eq. 3 penalty accrues per SLO-burn
+// interval instead of once per late completion.
+package sla
+
+import (
+	"fmt"
+
+	"meryn/internal/sim"
+)
+
+// SLO is the latency/availability objective attached to a service
+// contract. The provider evaluates the service's p95 response time once
+// per Interval; an interval with p95 above TargetP95 — or with the
+// service down entirely — burns. The contract tolerates burns on up to
+// (1 - Availability) of the evaluated intervals; each excess burn costs
+// PenaltyPerInterval, Eq. 3 applied to one interval of the contracted
+// replica set:
+//
+//	penalty_per_interval = (interval * nb_replicas * vm_price) / N
+//
+// so the delay-penalty dial N and MaxPenaltyFrac bound keep their
+// meanings across both contract forms.
+type SLO struct {
+	TargetP95    sim.Time // p95 response-time objective
+	Availability float64  // required fraction of clean intervals, in (0,1]
+	Interval     sim.Time // evaluation period
+	// PenaltyPerInterval is the charge per excess burned interval.
+	PenaltyPerInterval float64
+}
+
+// AllowedBurn returns how many of n evaluated intervals may burn before
+// penalties accrue. The epsilon guards against float rounding taking an
+// interval away ((1-0.9)*100 is 9.999... in binary).
+func (s *SLO) AllowedBurn(intervals int) int {
+	if s.Availability >= 1 {
+		return 0
+	}
+	return int((1-s.Availability)*float64(intervals) + 1e-9)
+}
+
+// Attainment is the fraction of evaluated intervals that were clean.
+// With nothing evaluated the SLO is vacuously attained.
+func Attainment(intervals, burned int) float64 {
+	if intervals <= 0 {
+		return 1
+	}
+	return float64(intervals-burned) / float64(intervals)
+}
+
+// SLOPenalty computes the accumulated-burn penalty for a service
+// contract: excess burned intervals times the per-interval Eq. 3
+// charge, bounded by MaxPenaltyFrac like the delay penalty. It returns
+// 0 for contracts without an SLO.
+func (c *Contract) SLOPenalty(intervals, burned int) float64 {
+	if c.SLO == nil || burned <= 0 {
+		return 0
+	}
+	excess := burned - c.SLO.AllowedBurn(intervals)
+	if excess <= 0 {
+		return 0
+	}
+	p := float64(excess) * c.SLO.PenaltyPerInterval
+	if c.MaxPenaltyFrac > 0 {
+		if bound := c.MaxPenaltyFrac * c.Price; p > bound {
+			p = bound
+		}
+	}
+	return p
+}
+
+// SLOTemplate configures a Provider to negotiate service contracts: the
+// perf model maps replica counts to achievable p95 latency (the offer's
+// time column), pricing and execution estimates use the contracted
+// Lifetime, and agreed contracts carry an SLO built from the accepted
+// offer.
+type SLOTemplate struct {
+	Lifetime     sim.Time // contracted service duration
+	Availability float64  // required clean-interval fraction (default 0.95)
+	Interval     sim.Time // evaluation period (default 10 s)
+	// StartupGrace pads the contract's completion bound beyond the
+	// lifetime — placement and deployment time the provider grants
+	// itself before the overall Deadline burns (default 120 s).
+	StartupGrace sim.Time
+}
+
+// normalized fills template defaults.
+func (t SLOTemplate) normalized() (SLOTemplate, error) {
+	if t.Lifetime <= 0 {
+		return t, fmt.Errorf("sla: SLO template without a lifetime")
+	}
+	if t.Availability <= 0 {
+		t.Availability = 0.95
+	}
+	if t.Availability > 1 {
+		return t, fmt.Errorf("sla: SLO availability %g > 1", t.Availability)
+	}
+	if t.Interval <= 0 {
+		t.Interval = sim.Seconds(10)
+	}
+	if t.StartupGrace <= 0 {
+		t.StartupGrace = sim.Seconds(120)
+	}
+	return t, nil
+}
+
+// sloFor instantiates the contract SLO from an accepted offer.
+func (p *Provider) sloFor(o Offer, penaltyN float64) *SLO {
+	t, err := p.SLO.normalized()
+	if err != nil {
+		panic(err.Error()) // Offers() validated the template already
+	}
+	return &SLO{
+		TargetP95:          o.Deadline,
+		Availability:       t.Availability,
+		Interval:           t.Interval,
+		PenaltyPerInterval: DelayPenalty(t.Interval, o.NumVMs, p.VMPrice, penaltyN),
+	}
+}

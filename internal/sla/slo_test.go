@@ -1,0 +1,265 @@
+package sla
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"meryn/internal/sim"
+)
+
+// svcProvider builds a service-contract provider: p95 model with
+// perfect replica scaling at 10 req/s per replica against a 40 req/s
+// peak, 1800 s lifetime.
+func svcProvider() *Provider {
+	const peak, mu = 40.0, 10.0
+	return &Provider{
+		Model: func(n int) sim.Time {
+			c := float64(n) * mu
+			if c <= peak {
+				return sim.Seconds(1e6)
+			}
+			return sim.Seconds(3 / mu / (1 - peak/c))
+		},
+		VMPrice:  4,
+		PenaltyN: 1,
+		MinVMs:   5,
+		MaxVMs:   10,
+		SLO: &SLOTemplate{
+			Lifetime:     sim.Seconds(1800),
+			Availability: 0.95,
+			Interval:     sim.Seconds(10),
+		},
+	}
+}
+
+func TestServiceOffersPriceLifetime(t *testing.T) {
+	p := svcProvider()
+	offers := p.Offers()
+	if len(offers) != 6 {
+		t.Fatalf("offers = %d, want 6 (replica counts 5..10)", len(offers))
+	}
+	for _, o := range offers {
+		want := 1800.0 * float64(o.NumVMs) * 4
+		if math.Abs(o.Price-want) > 1e-9 {
+			t.Fatalf("offer n=%d priced %g, want lifetime price %g", o.NumVMs, o.Price, want)
+		}
+	}
+	// More replicas => lower p95, higher price.
+	for i := 1; i < len(offers); i++ {
+		if offers[i].Deadline >= offers[i-1].Deadline {
+			t.Fatalf("p95 not decreasing with replicas: %v then %v", offers[i-1].Deadline, offers[i].Deadline)
+		}
+		if offers[i].Price <= offers[i-1].Price {
+			t.Fatalf("price not increasing with replicas")
+		}
+	}
+}
+
+func TestServiceContractCarriesSLO(t *testing.T) {
+	p := svcProvider()
+	c, err := Negotiate("web-0", p, AcceptFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SLO == nil {
+		t.Fatal("service contract without SLO")
+	}
+	if c.NumVMs != 5 {
+		t.Fatalf("NumVMs = %d, want the first offer's 5", c.NumVMs)
+	}
+	// 5 replicas: rho = 40/50 = 0.8, p95 = 3*0.1/0.2 = 1.5 s.
+	if got := sim.ToSeconds(c.SLO.TargetP95); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("TargetP95 = %g s, want 1.5", got)
+	}
+	if c.ExecEst != sim.Seconds(1800) {
+		t.Fatalf("ExecEst = %v, want the lifetime", c.ExecEst)
+	}
+	if c.Deadline != sim.Seconds(1800+120) {
+		t.Fatalf("Deadline = %v, want lifetime + default startup grace", c.Deadline)
+	}
+	// Per-interval penalty: Eq. 3 on one 10 s interval, 5 VMs, price 4,
+	// N=1 => 10*5*4/1 = 200.
+	if math.Abs(c.SLO.PenaltyPerInterval-200) > 1e-9 {
+		t.Fatalf("PenaltyPerInterval = %g, want 200", c.SLO.PenaltyPerInterval)
+	}
+}
+
+func TestImposedLatencyBoundPicksCheapestViable(t *testing.T) {
+	p := svcProvider()
+	// Impose p95 <= 0.75 s: p95(7) = 0.3/(1-40/70) = 0.7 meets it,
+	// p95(6) = 0.9 does not — the cheapest viable count is 7.
+	c, err := Negotiate("web-0", p, DeadlineBound{Deadline: sim.Seconds(0.75)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVMs != 7 {
+		t.Fatalf("NumVMs = %d, want 7 (cheapest count meeting the latency bound)", c.NumVMs)
+	}
+}
+
+func TestSLOPenaltyAllowanceAndBound(t *testing.T) {
+	c := &Contract{
+		Price: 1000,
+		SLO: &SLO{
+			TargetP95:          sim.Seconds(1),
+			Availability:       0.9,
+			Interval:           sim.Seconds(10),
+			PenaltyPerInterval: 50,
+		},
+	}
+	// 100 intervals at 90% availability: 10 burns allowed.
+	if got := c.SLOPenalty(100, 10); got != 0 {
+		t.Fatalf("penalty within allowance = %g, want 0", got)
+	}
+	// 4 excess burns at 50 units.
+	if got := c.SLOPenalty(100, 14); got != 200 {
+		t.Fatalf("penalty = %g, want 200", got)
+	}
+	// No burn, no penalty.
+	if got := c.SLOPenalty(0, 0); got != 0 {
+		t.Fatalf("penalty with no intervals = %g, want 0", got)
+	}
+	// MaxPenaltyFrac bounds the accumulated burn like the delay penalty.
+	c.MaxPenaltyFrac = 0.1
+	if got := c.SLOPenalty(100, 100); got != 100 {
+		t.Fatalf("bounded penalty = %g, want 0.1 * price = 100", got)
+	}
+}
+
+func TestSLOAttainmentAndAllowedBurn(t *testing.T) {
+	s := &SLO{Availability: 0.95}
+	if got := s.AllowedBurn(200); got != 10 {
+		t.Fatalf("AllowedBurn(200) = %d, want 10", got)
+	}
+	perfect := &SLO{Availability: 1}
+	if got := perfect.AllowedBurn(200); got != 0 {
+		t.Fatalf("AllowedBurn at 100%% availability = %d, want 0", got)
+	}
+	if got := Attainment(200, 10); got != 0.95 {
+		t.Fatalf("Attainment = %g, want 0.95", got)
+	}
+	if got := Attainment(0, 0); got != 1 {
+		t.Fatalf("vacuous Attainment = %g, want 1", got)
+	}
+}
+
+func TestServiceContractJSONRoundTrip(t *testing.T) {
+	p := svcProvider()
+	c, err := Negotiate("web-0", p, AcceptFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteContract(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadContract(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SLO == nil {
+		t.Fatal("SLO lost in round trip")
+	}
+	if got.SLO.TargetP95 != c.SLO.TargetP95 || got.SLO.Availability != c.SLO.Availability ||
+		got.SLO.Interval != c.SLO.Interval || got.SLO.PenaltyPerInterval != c.SLO.PenaltyPerInterval {
+		t.Fatalf("SLO round trip mismatch: %+v vs %+v", got.SLO, c.SLO)
+	}
+	// Batch contracts keep omitting the field entirely.
+	batch := &Contract{AppID: "b", NumVMs: 1, Deadline: sim.Seconds(10), Price: 1, PenaltyN: 1}
+	buf.Reset()
+	if err := WriteContract(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "slo") {
+		t.Fatalf("batch contract JSON mentions slo: %s", buf.String())
+	}
+}
+
+// --- SLA negotiation edge cases (satellite coverage) ---
+
+// TestBudgetBoundRejectsEveryOffer: a budget below the cheapest offer
+// never converges — the provider re-proposes, the user re-imposes, and
+// the protocol must terminate with ErrNoAgreement at the round cap
+// instead of looping.
+func TestBudgetBoundRejectsEveryOffer(t *testing.T) {
+	p := &Provider{
+		Model:    func(n int) sim.Time { return sim.Seconds(1000 / float64(n)) },
+		VMPrice:  4,
+		PenaltyN: 1,
+		MinVMs:   1,
+		MaxVMs:   4,
+	}
+	cheapest := math.Inf(1)
+	for _, o := range p.Offers() {
+		if o.Price < cheapest {
+			cheapest = o.Price
+		}
+	}
+	_, err := Negotiate("app-0", p, BudgetBound{Budget: cheapest / 2})
+	if err != ErrNoAgreement {
+		t.Fatalf("Negotiate = %v, want ErrNoAgreement", err)
+	}
+	// A budget covering the cheapest offer still converges.
+	c, err := Negotiate("app-0", p, BudgetBound{Budget: cheapest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Price > cheapest {
+		t.Fatalf("agreed price %g exceeds budget %g", c.Price, cheapest)
+	}
+}
+
+// TestZeroWorkOffers: a zero-work application produces zero-priced,
+// processing-only offers; the machinery must stay finite and consistent
+// (the core adapters reject such applications before negotiation — this
+// pins the sla-layer behaviour they guard against).
+func TestZeroWorkOffers(t *testing.T) {
+	p := &Provider{
+		Model:      func(int) sim.Time { return 0 },
+		Processing: sim.Seconds(84),
+		VMPrice:    4,
+		PenaltyN:   1,
+		MinVMs:     1,
+		MaxVMs:     2,
+	}
+	for _, o := range p.Offers() {
+		if o.Price != 0 {
+			t.Fatalf("zero-work offer priced %g, want 0", o.Price)
+		}
+		if o.Deadline != sim.Seconds(84) {
+			t.Fatalf("zero-work deadline %v, want pure processing time", o.Deadline)
+		}
+	}
+	c, err := Negotiate("app-0", p, AcceptCheapest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero-price contract bounds every penalty at zero when capped.
+	c.MaxPenaltyFrac = 0.5
+	if got := c.PenaltyFor(sim.Seconds(1000)); got != 0 {
+		t.Fatalf("penalty on zero-price contract = %g, want 0 under the bound", got)
+	}
+}
+
+// TestMaxPenaltyFracWithSLOBurn: the penalty bound applies to the new
+// accumulated-burn form exactly as to the one-shot delay form, and the
+// two forms never stack on one contract.
+func TestMaxPenaltyFracWithSLOBurn(t *testing.T) {
+	p := svcProvider()
+	p.MaxPenaltyFrac = 0.25
+	c, err := Negotiate("web-0", p, AcceptFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 0.25 * c.Price
+	// Burn everything: the bound must cap the accumulated penalty.
+	if got := c.SLOPenalty(1000, 1000); got != bound {
+		t.Fatalf("SLO penalty = %g, want bound %g", got, bound)
+	}
+	// Just over the allowance: one excess interval, under the bound.
+	allowed := c.SLO.AllowedBurn(1000)
+	if got := c.SLOPenalty(1000, allowed+1); got != c.SLO.PenaltyPerInterval {
+		t.Fatalf("penalty = %g, want one interval's %g", got, c.SLO.PenaltyPerInterval)
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+
+	"meryn/internal/sim"
+)
+
+func TestLoadProfileShapes(t *testing.T) {
+	p := &LoadProfile{
+		Base:    40,
+		Diurnal: &Diurnal{Period: sim.Seconds(1000), NightFactor: 4},
+		Bursts: []Burst{
+			{At: sim.Seconds(100), Duration: sim.Seconds(50), Factor: 3},
+		},
+	}
+	if got := p.Rate(sim.Seconds(0)); got != 40 {
+		t.Fatalf("day rate = %g, want 40", got)
+	}
+	if got := p.Rate(sim.Seconds(120)); got != 120 {
+		t.Fatalf("burst rate = %g, want 120", got)
+	}
+	if got := p.Rate(sim.Seconds(150)); got != 40 {
+		t.Fatalf("post-burst rate = %g, want 40 (burst window is half-open)", got)
+	}
+	if got := p.Rate(sim.Seconds(600)); got != 10 {
+		t.Fatalf("night rate = %g, want 40/4", got)
+	}
+	if got := p.Peak(sim.Seconds(2000)); got != 120 {
+		t.Fatalf("peak = %g, want the burst's 120", got)
+	}
+	var nilP *LoadProfile
+	if nilP.Rate(0) != 0 || nilP.Peak(sim.Seconds(10)) != 0 {
+		t.Fatal("nil profile must report zero load")
+	}
+}
+
+func TestServicesGenerator(t *testing.T) {
+	w := Services(ServiceConfig{
+		Apps: 3, VC: "svc1", Seed: 7,
+		BurstEvery: sim.Seconds(600), BurstFactor: 2,
+	})
+	if len(w) != 3 {
+		t.Fatalf("apps = %d, want 3", len(w))
+	}
+	for i, app := range w {
+		if app.Type != TypeService || app.VC != "svc1" {
+			t.Fatalf("app %d: type=%s vc=%s", i, app.Type, app.VC)
+		}
+		if app.Replicas < 1 || app.VMs != app.Replicas {
+			t.Fatalf("app %d: replicas=%d vms=%d", i, app.Replicas, app.VMs)
+		}
+		if app.SvcRate <= 0 || app.DurationS <= 0 || app.Load == nil {
+			t.Fatalf("app %d: incomplete service shape %+v", i, app)
+		}
+		if app.DeclaredPeak != app.Load.Base {
+			t.Fatalf("app %d: declared peak %g, want the steady base %g", i, app.DeclaredPeak, app.Load.Base)
+		}
+		if len(app.Load.Bursts) == 0 {
+			t.Fatalf("app %d: no bursts generated", i)
+		}
+		// Auto-sized replicas keep steady load near 70%.
+		rho := app.Load.Base / (float64(app.Replicas) * app.SvcRate)
+		if rho <= 0 || rho > 1 {
+			t.Fatalf("app %d: steady utilization %g out of range", i, rho)
+		}
+	}
+	// Determinism: the same seed reproduces the same stream.
+	w2 := Services(ServiceConfig{
+		Apps: 3, VC: "svc1", Seed: 7,
+		BurstEvery: sim.Seconds(600), BurstFactor: 2,
+	})
+	for i := range w {
+		if w[i].ID != w2[i].ID || w[i].SubmitAt != w2[i].SubmitAt ||
+			w[i].Replicas != w2[i].Replicas || w[i].Load.Base != w2[i].Load.Base {
+			t.Fatalf("generator not deterministic at app %d", i)
+		}
+	}
+}

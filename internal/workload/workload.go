@@ -22,6 +22,7 @@ type AppType string
 const (
 	TypeBatch     AppType = "batch"
 	TypeMapReduce AppType = "mapreduce"
+	TypeService   AppType = "service"
 )
 
 // App is the uniform submission template of §3.3: the user describes the
@@ -41,6 +42,18 @@ type App struct {
 	ReduceTasks int
 	MapWork     float64
 	ReduceWork  float64
+
+	// Service shape: a replicated long-running service with a latency
+	// SLO, driven by an open-loop request arrival process.
+	Replicas  int          // contracted replicas (VMs mirrors it for routing)
+	SvcRate   float64      // requests/s one replica serves at speed 1.0
+	DurationS float64      // contracted service lifetime in wall seconds
+	Load      *LoadProfile // offered request rate over time
+	// DeclaredPeak is the rate the user sizes the SLA against. Actual
+	// load may exceed it (unannounced bursts): covering the excess is
+	// what the platform's elasticity is for — or the SLO burns. Zero
+	// means the profile's true peak (fully honest declaration).
+	DeclaredPeak float64
 }
 
 // Workload is a time-ordered application stream.

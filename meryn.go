@@ -88,7 +88,27 @@ const (
 	TypeBatch = workload.TypeBatch
 	// TypeMapReduce targets Hadoop-like MapReduce VCs.
 	TypeMapReduce = workload.TypeMapReduce
+	// TypeService targets elastic long-running-service VCs with
+	// latency/availability SLOs.
+	TypeService = workload.TypeService
 )
+
+// Service workload types.
+type (
+	// LoadProfile is an open-loop request-rate shape (base + diurnal +
+	// bursts) driving a long-running service.
+	LoadProfile = workload.LoadProfile
+	// Burst is one transient load spike inside a LoadProfile.
+	Burst = workload.Burst
+	// ServiceGenConfig parameterizes the service-stream generator.
+	ServiceGenConfig = workload.ServiceConfig
+	// SLO is the latency/availability objective of a service contract.
+	SLO = sla.SLO
+)
+
+// GenerateServices builds a stream of long-running service applications
+// with latency SLOs (see ServiceGenConfig).
+func GenerateServices(cfg ServiceGenConfig) Workload { return workload.Services(cfg) }
 
 // SLA types (negotiation API).
 type (
