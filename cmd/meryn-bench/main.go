@@ -40,6 +40,7 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+	jsonErrPath = *jsonPath
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -148,9 +149,16 @@ func main() {
 // flush its trailer before os.Exit skips the deferred stop.
 var cpuProfiling bool
 
+// jsonErrPath mirrors -json so fatal can leave a machine-readable
+// {"error": "..."} object where consumers expect the results.
+var jsonErrPath string
+
 func fatal(err error) {
 	if cpuProfiling {
 		pprof.StopCPUProfile()
+	}
+	if jsonErrPath != "" {
+		_ = exp.WriteJSONError(jsonErrPath, err, os.Stdout)
 	}
 	fmt.Fprintln(os.Stderr, "meryn-bench:", err)
 	os.Exit(1)

@@ -15,11 +15,18 @@
 //	meryn-sim -services -svc-burst 2.5  # elastic latency-SLO services demo
 //	meryn-sim -sweep default            # stock policy x load sweep
 //	meryn-sim -sweep "ia=4,5,7 reps=10" -workers 8 -json sweep.json
+//
+// Every error exits non-zero with a one-line message on stderr; when
+// -json is set the error is also written to the JSON target as
+// {"error": "..."}, so machine consumers never see a half-written or
+// missing result file.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"meryn"
@@ -32,72 +39,99 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and
+// returns the process exit code. Errors print one line to stderr; with
+// -json set they are also emitted as a JSON error object.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("meryn-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		policy    = flag.String("policy", "meryn", "resource policy: meryn or static")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		vc1Apps   = flag.Int("vc1-apps", 50, "applications submitted to VC1")
-		vc2Apps   = flag.Int("vc2-apps", 15, "applications submitted to VC2")
-		interarr  = flag.Float64("interarrival", 5, "per-stream inter-arrival time [s]")
-		work      = flag.Float64("work", 1550, "application work [reference s]")
-		traceIn   = flag.String("trace", "", "replay a workload trace CSV instead of the synthetic workload")
-		chart     = flag.Bool("chart", false, "print the VM-usage ASCII chart")
-		csvOut    = flag.String("csv", "", "write the usage series as CSV to this file")
-		hier      = flag.Bool("hierarchy", false, "deploy the Snooze-like hierarchical management plane")
-		services  = flag.Bool("services", false, "run the elastic latency-SLO services demo scenario instead of the batch workload")
-		svcLoad   = flag.Float64("svc-load", 1, "services demo: offered-load multiplier")
-		svcBurst  = flag.Float64("svc-burst", 2.5, "services demo: burst amplitude (1 = no bursts)")
-		svcPolicy = flag.String("svc-policy", "scaleout", "services demo: replica policy (noop or scaleout)")
-		listExps  = flag.Bool("list", false, "list registered experiments and sweep axes, then exit")
-		sweepSpec = flag.String("sweep", "", `run a scenario matrix instead of one run: "default" or e.g. "policy=meryn,static ia=4,5 load=50 reps=5"`)
-		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all cores)")
-		reps      = flag.Int("reps", 0, "seed replications per sweep cell (0 = matrix default)")
-		jsonPath  = flag.String("json", "", "write sweep results as JSON to this file (- for stdout)")
+		policy    = fs.String("policy", "meryn", "resource policy: meryn or static")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		vc1Apps   = fs.Int("vc1-apps", 50, "applications submitted to VC1")
+		vc2Apps   = fs.Int("vc2-apps", 15, "applications submitted to VC2")
+		interarr  = fs.Float64("interarrival", 5, "per-stream inter-arrival time [s]")
+		work      = fs.Float64("work", 1550, "application work [reference s]")
+		traceIn   = fs.String("trace", "", "replay a workload trace CSV instead of the synthetic workload")
+		chart     = fs.Bool("chart", false, "print the VM-usage ASCII chart")
+		csvOut    = fs.String("csv", "", "write the usage series as CSV to this file")
+		hier      = fs.Bool("hierarchy", false, "deploy the Snooze-like hierarchical management plane")
+		services  = fs.Bool("services", false, "run the elastic latency-SLO services demo scenario instead of the batch workload")
+		svcLoad   = fs.Float64("svc-load", 1, "services demo: offered-load multiplier")
+		svcBurst  = fs.Float64("svc-burst", 2.5, "services demo: burst amplitude (1 = no bursts)")
+		svcPolicy = fs.String("svc-policy", "scaleout", "services demo: replica policy (noop or scaleout)")
+		listExps  = fs.Bool("list", false, "list registered experiments and sweep axes, then exit")
+		sweepSpec = fs.String("sweep", "", `run a scenario matrix instead of one run: "default" or e.g. "policy=meryn,static ia=4,5 load=50 reps=5"`)
+		workers   = fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
+		reps      = fs.Int("reps", 0, "seed replications per sweep cell (0 = matrix default)")
+		jsonPath  = fs.String("json", "", "write sweep results as JSON to this file (- for stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "meryn-sim:", err)
+		if *jsonPath != "" {
+			if werr := exp.WriteJSONError(*jsonPath, err, stdout); werr != nil {
+				fmt.Fprintln(stderr, "meryn-sim:", werr)
+			}
+		}
+		return 1
+	}
 
 	if *listExps {
-		printCatalog()
-		return
+		printCatalog(stdout)
+		return 0
 	}
 
 	// -sweep and -services select different modes with their own flag
 	// sets; reject combinations that would otherwise be silently ignored.
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	sweepOnly := []string{"workers", "reps", "json"}
 	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy", "services", "svc-load", "svc-burst", "svc-policy"}
 	servicesOnly := []string{"svc-load", "svc-burst", "svc-policy"}
 	if *sweepSpec == "" {
 		for _, name := range sweepOnly {
 			if set[name] {
-				fatal(fmt.Errorf("-%s only applies with -sweep", name))
+				return fail(fmt.Errorf("-%s only applies with -sweep", name))
 			}
 		}
 		if !*services {
 			for _, name := range servicesOnly {
 				if set[name] {
-					fatal(fmt.Errorf("-%s only applies with -services", name))
+					return fail(fmt.Errorf("-%s only applies with -services", name))
 				}
 			}
 		}
 	} else {
 		for _, name := range singleOnly {
 			if set[name] {
-				fatal(fmt.Errorf("-%s does not apply with -sweep (use the sweep spec, e.g. \"policy=static ia=4\")", name))
+				return fail(fmt.Errorf("-%s does not apply with -sweep (use the sweep spec, e.g. \"policy=static ia=4\")", name))
 			}
 		}
-		runSweep(*sweepSpec, *seed, exp.Options{Workers: *workers, Reps: *reps}, *jsonPath)
-		return
+		if err := runSweep(stdout, *sweepSpec, *seed, exp.Options{Workers: *workers, Reps: *reps}, *jsonPath); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	if *services {
 		for _, name := range []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "hierarchy"} {
 			if set[name] {
-				fatal(fmt.Errorf("-%s does not apply with -services (use -svc-load/-svc-burst/-svc-policy)", name))
+				return fail(fmt.Errorf("-%s does not apply with -services (use -svc-load/-svc-burst/-svc-policy)", name))
 			}
 		}
-		runServicesDemo(*seed, *svcPolicy, *svcLoad, *svcBurst, *chart, *csvOut)
-		return
+		if err := runServicesDemo(stdout, *seed, *svcPolicy, *svcLoad, *svcBurst, *chart, *csvOut); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	cfg := meryn.DefaultConfig()
@@ -111,19 +145,19 @@ func main() {
 	case "static":
 		cfg.Policy = meryn.PolicyStatic
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		return fail(fmt.Errorf("unknown policy %q", *policy))
 	}
 
 	var wl meryn.Workload
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		wl, err = workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		wl = meryn.CustomPaperWorkload(meryn.PaperWorkloadConfig{
@@ -139,13 +173,15 @@ func main() {
 
 	p, err := meryn.New(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	res, err := p.Run(wl)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	printSummary(res)
+	if err := printSummary(stdout, res); err != nil {
+		return fail(err)
+	}
 
 	if *chart {
 		c := report.Chart{
@@ -153,63 +189,70 @@ func main() {
 			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
 			YLabel: "used VMs",
 		}
-		fmt.Println()
-		if err := c.Render(os.Stdout); err != nil {
-			fatal(err)
+		fmt.Fprintln(stdout)
+		if err := c.Render(stdout); err != nil {
+			return fail(err)
 		}
 	}
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			fatal(err)
+		if err := writeCSV(*csvOut, res); err != nil {
+			return fail(err)
 		}
-		defer f.Close()
-		if err := report.SeriesCSV(f, sim.Seconds(10), res.PrivateSeries, res.CloudSeries); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nusage series written to %s\n", *csvOut)
+		fmt.Fprintf(stdout, "\nusage series written to %s\n", *csvOut)
 	}
+	return 0
+}
+
+func writeCSV(path string, res *meryn.Results) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.SeriesCSV(f, sim.Seconds(10), res.PrivateSeries, res.CloudSeries)
 }
 
 // printCatalog enumerates the registered experiments and the axes the
 // two sweep grids accept, so valid -sweep values need no source dive.
-func printCatalog() {
-	fmt.Println("Experiments (run with meryn-bench -exp <name>, or meryn-sim -sweep/-services):")
+func printCatalog(out io.Writer) {
+	fmt.Fprintln(out, "Experiments (run with meryn-bench -exp <name>, or meryn-sim -sweep/-services):")
 	for _, e := range exp.All() {
-		fmt.Printf("  %-12s %s\n", e.Name, e.Artifact)
+		fmt.Fprintf(out, "  %-12s %s\n", e.Name, e.Artifact)
 	}
-	fmt.Println("\nSweep axes (-sweep \"key=v1,v2 ...\"):")
-	fmt.Println("  policy        meryn | static")
-	fmt.Println("  interarrival  per-stream arrival gap [s] (alias: ia)")
-	fmt.Println("  cluster       total private VMs, split across the two VCs")
-	fmt.Println("  load          applications submitted to VC1")
-	fmt.Println("  reps          seed replications per cell")
-	fmt.Println("  seed          base seed for per-run seed derivation")
-	fmt.Println("  name          label for reports and JSON")
-	fmt.Println("\nServices grid axes (meryn-bench -exp services; single run: meryn-sim -services):")
+	fmt.Fprintln(out, "\nSweep axes (-sweep \"key=v1,v2 ...\"):")
+	fmt.Fprintln(out, "  policy        meryn | static")
+	fmt.Fprintln(out, "  interarrival  per-stream arrival gap [s] (alias: ia)")
+	fmt.Fprintln(out, "  cluster       total private VMs, split across the two VCs")
+	fmt.Fprintln(out, "  load          applications submitted to VC1")
+	fmt.Fprintln(out, "  reps          seed replications per cell")
+	fmt.Fprintln(out, "  seed          base seed for per-run seed derivation")
+	fmt.Fprintln(out, "  name          label for reports and JSON")
+	fmt.Fprintln(out, "\nServices grid axes (meryn-bench -exp services; single run: meryn-sim -services):")
 	m := exp.DefaultServicesMatrix()
-	fmt.Printf("  load   offered-load multipliers     (default %v)\n", m.Loads)
-	fmt.Printf("  policy replica policies             (default %v)\n", m.Policies)
-	fmt.Printf("  burst  burst amplitude factors      (default %v)\n", m.Bursts)
-	fmt.Printf("  reps   seed replications per cell   (default %d)\n", m.Reps)
+	fmt.Fprintf(out, "  load   offered-load multipliers     (default %v)\n", m.Loads)
+	fmt.Fprintf(out, "  policy replica policies             (default %v)\n", m.Policies)
+	fmt.Fprintf(out, "  burst  burst amplitude factors      (default %v)\n", m.Bursts)
+	fmt.Fprintf(out, "  reps   seed replications per cell   (default %d)\n", m.Reps)
 }
 
 // runServicesDemo executes one cell of the services scenario and prints
 // the run summary with the per-type breakdown.
-func runServicesDemo(seed int64, policy string, load, burst float64, chart bool, csvOut string) {
+func runServicesDemo(out io.Writer, seed int64, policy string, load, burst float64, chart bool, csvOut string) error {
 	if policy != exp.ReplicaPolicyNoop && policy != exp.ReplicaPolicyScaleOut {
-		fatal(fmt.Errorf("unknown replica policy %q (want noop or scaleout)", policy))
+		return fmt.Errorf("unknown replica policy %q (want noop or scaleout)", policy)
 	}
 	s := exp.ServiceScenario(exp.ServiceScenarioConfig{
 		Seed: seed, Policy: policy, LoadMult: load, BurstAmp: burst,
 	})
 	res, err := s.Run()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("services demo: policy=%s load=%g burst=%g seed=%d\n\n", policy, load, burst, seed)
-	printSummary(res)
-	fmt.Printf("service elasticity: scale-outs=%d scale-ins=%d bid-reclaims=%d\n",
+	fmt.Fprintf(out, "services demo: policy=%s load=%g burst=%g seed=%d\n\n", policy, load, burst, seed)
+	if err := printSummary(out, res); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "service elasticity: scale-outs=%d scale-ins=%d bid-reclaims=%d\n",
 		res.Counters.ReplicaScaleOuts.Count, res.Counters.ReplicaScaleIns.Count,
 		res.Counters.ReplicaReclaims.Count)
 	if chart {
@@ -218,81 +261,78 @@ func runServicesDemo(seed int64, policy string, load, burst float64, chart bool,
 			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
 			YLabel: "used VMs",
 		}
-		fmt.Println()
-		if err := c.Render(os.Stdout); err != nil {
-			fatal(err)
+		fmt.Fprintln(out)
+		if err := c.Render(out); err != nil {
+			return err
 		}
 	}
 	if csvOut != "" {
-		f, err := os.Create(csvOut)
-		if err != nil {
-			fatal(err)
+		if err := writeCSV(csvOut, res); err != nil {
+			return err
 		}
-		defer f.Close()
-		if err := report.SeriesCSV(f, sim.Seconds(10), res.PrivateSeries, res.CloudSeries); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nusage series written to %s\n", csvOut)
+		fmt.Fprintf(out, "\nusage series written to %s\n", csvOut)
 	}
+	return nil
 }
 
 // runSweep expands, executes and reports a scenario matrix.
-func runSweep(spec string, seed int64, opt exp.Options, jsonPath string) {
+func runSweep(out io.Writer, spec string, seed int64, opt exp.Options, jsonPath string) error {
 	if spec == "default" {
 		spec = ""
 	}
 	m, err := exp.ParseMatrix(spec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if m.BaseSeed == 0 { // spec's seed= wins over -seed
 		m.BaseSeed = seed
 	}
 	res, err := m.Sweep(opt)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(res.Render())
+	fmt.Fprint(out, res.Render())
 	if jsonPath != "" {
 		b, err := res.JSON()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		b = append(b, '\n')
 		if jsonPath == "-" {
-			os.Stdout.Write(b)
+			out.Write(b)
 		} else if err := os.WriteFile(jsonPath, b, 0o644); err != nil {
-			fatal(err)
+			return err
 		} else {
-			fmt.Printf("\nsweep JSON written to %s\n", jsonPath)
+			fmt.Fprintf(out, "\nsweep JSON written to %s\n", jsonPath)
 		}
 	}
+	return nil
 }
 
-func printSummary(res *meryn.Results) {
+func printSummary(out io.Writer, res *meryn.Results) error {
 	agg := meryn.AggregateAll(res)
-	fmt.Printf("policy: %s\n", res.Policy)
-	fmt.Printf("applications: %d (deadlines missed: %d)\n", agg.N, agg.DeadlinesMissed)
-	fmt.Printf("completion: %.0f s\n", agg.CompletionTime)
-	fmt.Printf("mean exec: %.0f s  mean turnaround: %.0f s  mean processing: %.1f s\n",
+	fmt.Fprintf(out, "policy: %s\n", res.Policy)
+	fmt.Fprintf(out, "applications: %d (deadlines missed: %d)\n", agg.N, agg.DeadlinesMissed)
+	fmt.Fprintf(out, "completion: %.0f s\n", agg.CompletionTime)
+	fmt.Fprintf(out, "mean exec: %.0f s  mean turnaround: %.0f s  mean processing: %.1f s\n",
 		agg.MeanExecTime, agg.MeanTurnaround, agg.MeanProcessing)
-	fmt.Printf("cost: %.0f units  revenue: %.0f units  profit: %.0f units\n",
+	fmt.Fprintf(out, "cost: %.0f units  revenue: %.0f units  profit: %.0f units\n",
 		agg.TotalCost, agg.TotalRevenue, agg.TotalProfit)
-	fmt.Printf("placements: local=%d vc=%d cloud=%d\n",
+	fmt.Fprintf(out, "placements: local=%d vc=%d cloud=%d\n",
 		agg.PlacementCounts[metrics.PlacementLocal],
 		agg.PlacementCounts[metrics.PlacementVC],
 		agg.PlacementCounts[metrics.PlacementCloud])
-	fmt.Printf("peaks: private=%d cloud=%d VMs\n",
+	fmt.Fprintf(out, "peaks: private=%d cloud=%d VMs\n",
 		int(res.PrivateSeries.Max()), int(res.CloudSeries.Max()))
-	fmt.Printf("protocol: bid-rounds=%d transfers=%d leases=%d suspensions=%d resumes=%d\n",
+	fmt.Fprintf(out, "protocol: bid-rounds=%d transfers=%d leases=%d suspensions=%d resumes=%d\n",
 		res.Counters.BidRounds.Count, res.Counters.VMTransfers.Count,
 		res.Counters.CloudLeases.Count, res.Counters.Suspensions.Count,
 		res.Counters.Resumes.Count)
-	fmt.Printf("cloud spend (provider charges): %.0f units\n", res.CloudSpend)
+	fmt.Fprintf(out, "cloud spend (provider charges): %.0f units\n", res.CloudSpend)
 
 	for _, vc := range res.Ledger.VCs() {
 		a := meryn.AggregateVC(res, vc)
-		fmt.Printf("  %s: apps=%d mean-exec=%.0fs mean-cost=%.0f local=%d vc=%d cloud=%d\n",
+		fmt.Fprintf(out, "  %s: apps=%d mean-exec=%.0fs mean-cost=%.0f local=%d vc=%d cloud=%d\n",
 			vc, a.N, a.MeanExecTime, a.MeanCost,
 			a.PlacementCounts[metrics.PlacementLocal],
 			a.PlacementCounts[metrics.PlacementVC],
@@ -301,14 +341,10 @@ func printSummary(res *meryn.Results) {
 
 	// Mixed-framework runs get the per-type economics table.
 	if len(res.Ledger.Types()) > 1 {
-		fmt.Println()
-		if err := report.BreakdownByType(res.Ledger.All()).Render(os.Stdout); err != nil {
-			fatal(err)
+		fmt.Fprintln(out)
+		if err := report.BreakdownByType(res.Ledger.All()).Render(out); err != nil {
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "meryn-sim:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,262 @@
+// Command meryn is the CLI client of the merynd control plane: it
+// submits applications, negotiates SLAs, inspects status and follows
+// the platform's event stream over plain HTTP/JSON.
+//
+// Usage:
+//
+//	meryn [-addr http://127.0.0.1:8080] <command> [flags]
+//
+//	meryn submit -type batch -work 1550            # submit, print offers
+//	meryn submit -type batch -work 1550 -accept first -wait
+//	meryn status app-0001                          # one submission
+//	meryn status                                   # all submissions
+//	meryn watch                                    # follow the event stream
+//	meryn vcs                                      # virtual clusters
+//	meryn metrics                                  # platform counters
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"meryn/internal/api"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("meryn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "merynd base URL")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: meryn [-addr URL] {submit|status|watch|vcs|metrics} [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	c := &client{base: *addr, out: stdout, err: stderr}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	switch rest[0] {
+	case "submit":
+		return c.submit(rest[1:])
+	case "status":
+		return c.status(rest[1:])
+	case "watch":
+		return c.watch(rest[1:])
+	case "vcs":
+		return c.get("/v1/vcs")
+	case "metrics":
+		return c.get("/v1/metrics")
+	default:
+		fmt.Fprintf(stderr, "meryn: unknown command %q\n", rest[0])
+		fs.Usage()
+		return 2
+	}
+}
+
+type client struct {
+	base string
+	out  io.Writer
+	err  io.Writer
+}
+
+// call performs one JSON round trip; a response decoding into an
+// api.Error (or a non-2xx code) becomes a Go error.
+func (c *client) call(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr api.Error
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s", apiErr.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// get fetches a path and pretty-prints the JSON.
+func (c *client) get(path string) int {
+	var v any
+	if err := c.call(http.MethodGet, path, nil, &v); err != nil {
+		fmt.Fprintln(c.err, "meryn:", err)
+		return 1
+	}
+	b, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Fprintln(c.out, string(b))
+	return 0
+}
+
+func (c *client) submit(args []string) int {
+	fs := flag.NewFlagSet("meryn submit", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	var (
+		id      = fs.String("id", "", "application ID (server-assigned when empty)")
+		typ     = fs.String("type", "batch", "application type: batch, mapreduce or service")
+		vc      = fs.String("vc", "", "target VC (routed by type when empty)")
+		vms     = fs.Int("vms", 1, "VMs requested")
+		work    = fs.Float64("work", 1550, "work in reference CPU-seconds (batch)")
+		maps    = fs.Int("map-tasks", 0, "map tasks (mapreduce)")
+		reds    = fs.Int("reduce-tasks", 0, "reduce tasks (mapreduce)")
+		mapW    = fs.Float64("map-work", 0, "reference seconds per map task")
+		redW    = fs.Float64("reduce-work", 0, "reference seconds per reduce task")
+		accept  = fs.String("accept", "none", "auto-respond to the offers: none, first or cheapest")
+		wait    = fs.Bool("wait", false, "poll until the application settles; exit 0 only on completed")
+		timeout = fs.Duration("timeout", 2*time.Minute, "give up on -wait after this long")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	switch *accept {
+	case "none", "first", "cheapest":
+	default:
+		fmt.Fprintf(c.err, "meryn: unknown -accept mode %q\n", *accept)
+		return 2
+	}
+	app := api.App{
+		ID: *id, Type: *typ, VC: *vc, VMs: *vms, WorkS: *work,
+		MapTasks: *maps, ReduceTasks: *reds, MapWorkS: *mapW, ReduceWorkS: *redW,
+	}
+	var st api.AppStatus
+	if err := c.call(http.MethodPost, "/v1/apps", app, &st); err != nil {
+		fmt.Fprintln(c.err, "meryn:", err)
+		return 1
+	}
+	fmt.Fprintf(c.out, "submitted %s: phase=%s\n", st.ID, st.Phase)
+	for _, o := range st.Offers {
+		fmt.Fprintf(c.out, "  offer %d: %d VMs, deadline %.0f s, price %.0f units\n",
+			o.Index, o.NumVMs, o.DeadlineS, o.Price)
+	}
+	if st.Phase == "rejected" {
+		fmt.Fprintf(c.err, "meryn: %s rejected: %s\n", st.ID, st.Rejection)
+		return 3
+	}
+	if *accept == "none" {
+		return 0
+	}
+	idx := 0
+	if *accept == "cheapest" {
+		for i, o := range st.Offers {
+			if o.Price < st.Offers[idx].Price {
+				idx = i
+			}
+		}
+	}
+	var contract api.Contract
+	if err := c.call(http.MethodPost, "/v1/apps/"+st.ID+"/accept",
+		map[string]int{"offer_index": idx}, &contract); err != nil {
+		fmt.Fprintln(c.err, "meryn:", err)
+		return 1
+	}
+	fmt.Fprintf(c.out, "accepted offer %d: %d VMs for %.0f units (deadline %.0f s)\n",
+		idx, contract.NumVMs, contract.Price, contract.DeadlineS)
+	if !*wait {
+		return 0
+	}
+	deadline := time.Now().Add(*timeout)
+	for {
+		var cur api.AppStatus
+		if err := c.call(http.MethodGet, "/v1/apps/"+st.ID, nil, &cur); err != nil {
+			fmt.Fprintln(c.err, "meryn:", err)
+			return 1
+		}
+		switch cur.Phase {
+		case "completed":
+			fmt.Fprintf(c.out, "%s completed: placement=%s cost=%.0f penalty=%.0f\n",
+				st.ID, cur.Placement, cur.Cost, cur.Penalty)
+			return 0
+		case "rejected":
+			fmt.Fprintf(c.err, "meryn: %s rejected: %s\n", st.ID, cur.Rejection)
+			return 3
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(c.err, "meryn: timed out waiting for %s (phase=%s)\n", st.ID, cur.Phase)
+			return 3
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (c *client) status(args []string) int {
+	if len(args) == 0 {
+		return c.get("/v1/apps")
+	}
+	return c.get("/v1/apps/" + args[0])
+}
+
+func (c *client) watch(args []string) int {
+	fs := flag.NewFlagSet("meryn watch", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	since := fs.Int("since", 0, "resume after this event sequence number")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/events?follow=1&since=%d", c.base, *since))
+	if err != nil {
+		fmt.Fprintln(c.err, "meryn:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(c.err, "meryn: %s\n", resp.Status)
+		return 1
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e api.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		fmt.Fprintf(c.out, "[%8.1fs] #%-4d %-10s %s %s\n", e.TimeS, e.Seq, e.Kind, e.AppID, e.Detail)
+	}
+	return 0
+}

@@ -1,0 +1,152 @@
+// Command merynd is the Meryn platform daemon: it assembles a platform,
+// opens a session and serves the HTTP/JSON control plane, turning the
+// simulation into an open PaaS that accepts submissions at runtime.
+//
+// Time advances in one of two modes:
+//
+//   - virtual (default): time fast-forwards after every state-changing
+//     request — an accepted application runs to settlement instantly.
+//     Good for demos, tests and the smoke workflow.
+//   - wall: virtual time tracks wall-clock time scaled by -speed, so a
+//     1550 s application at -speed 60 completes in ~26 real seconds and
+//     /v1/events can be watched live.
+//
+// Usage:
+//
+//	merynd                                  # virtual time on 127.0.0.1:8080
+//	merynd -addr 127.0.0.1:0 -addr-file a   # random port, written to file a
+//	merynd -mode wall -speed 60             # scaled wall-clock time
+//	merynd -policy static -seed 7
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"meryn"
+	"meryn/internal/api/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("merynd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening")
+		mode     = fs.String("mode", "virtual", "time mode: virtual (fast-forward) or wall (scaled wall-clock)")
+		speed    = fs.Float64("speed", 60, "wall mode: virtual seconds per wall second")
+		policy   = fs.String("policy", "meryn", "resource policy: meryn or static")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	cfg := meryn.DefaultConfig()
+	cfg.Seed = *seed
+	switch *policy {
+	case "meryn":
+		cfg.Policy = meryn.PolicyMeryn
+	case "static":
+		cfg.Policy = meryn.PolicyStatic
+	default:
+		fmt.Fprintf(stderr, "merynd: unknown policy %q\n", *policy)
+		return 1
+	}
+	if *mode != "virtual" && *mode != "wall" {
+		fmt.Fprintf(stderr, "merynd: unknown mode %q (want virtual or wall)\n", *mode)
+		return 1
+	}
+	if *mode == "wall" && *speed <= 0 {
+		fmt.Fprintf(stderr, "merynd: -speed must be positive, got %g\n", *speed)
+		return 1
+	}
+
+	p, err := meryn.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "merynd:", err)
+		return 1
+	}
+	sess, err := p.Open()
+	if err != nil {
+		fmt.Fprintln(stderr, "merynd:", err)
+		return 1
+	}
+
+	srvCfg := server.Config{}
+	if *mode == "virtual" {
+		srvCfg.OnMutate = func() { sess.RunToSettle() }
+	}
+	srv := server.New(sess, srvCfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "merynd:", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(stderr, "merynd:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "merynd listening on http://%s (mode=%s policy=%s seed=%d)\n", bound, *mode, *policy, *seed)
+
+	// Wall mode: a ticker maps elapsed wall time to virtual time.
+	stop := make(chan struct{})
+	if *mode == "wall" {
+		start := time.Now()
+		go func() {
+			ticker := time.NewTicker(250 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					target := meryn.Seconds(time.Since(start).Seconds() * *speed)
+					if target > sess.Now() {
+						sess.Step(target)
+					}
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "merynd: %s, shutting down\n", sig)
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "merynd:", err)
+			return 1
+		}
+	}
+	close(stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	return 0
+}

@@ -42,6 +42,50 @@ func ExampleNew_static() {
 	// Output: policy=static peak-cloud=25
 }
 
+// ExamplePlatform_Open drives a live SLA negotiation through the
+// interactive session API — the open-platform flow the merynd daemon
+// serves over HTTP: submit at runtime, inspect the provider's offers,
+// counter with a budget, accept, and step virtual time to completion.
+func ExamplePlatform_Open() {
+	platform, err := meryn.New(meryn.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := platform.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	neg, err := session.Submit(meryn.App{
+		ID: "interactive-1", Type: meryn.TypeBatch, VC: "vc1", VMs: 1, Work: 600,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := neg.Await(); err != nil { // drive the engine to the offer stage
+		log.Fatal(err)
+	}
+	offers := neg.Offers()
+	// Impose the tightest proposed deadline; the provider counters with
+	// its cheapest conforming offer (§4.2.1's "impose one metric" round)
+	// — only the widest allocation meets it.
+	counter, err := neg.Counter(offers[len(offers)-1].Deadline, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contract, err := neg.Accept(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session.RunToSettle()
+	status, err := session.Status("interactive-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offers=%d countered-vms=%d contracted-vms=%d phase=%s\n",
+		len(offers), counter[0].NumVMs, contract.NumVMs, status.Phase)
+	// Output: offers=4 countered-vms=4 contracted-vms=4 phase=completed
+}
+
 // ExampleGenerateWorkload builds a reproducible stochastic workload.
 func ExampleGenerateWorkload() {
 	w := meryn.GenerateWorkload(meryn.GenConfig{Apps: 3, VC: "vc1", Seed: 7})

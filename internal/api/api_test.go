@@ -1,0 +1,128 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"meryn/internal/core"
+	"meryn/internal/sim"
+	"meryn/internal/sla"
+	"meryn/internal/workload"
+)
+
+func TestAppRoundTrip(t *testing.T) {
+	in := workload.App{
+		ID:       "svc-1",
+		Type:     workload.TypeService,
+		VC:       "vc3",
+		SubmitAt: sim.Seconds(12.5),
+		VMs:      3,
+		Replicas: 3,
+		SvcRate:  40, DurationS: 3600, DeclaredPeak: 100,
+		Load: &workload.LoadProfile{
+			Base: 80,
+			Bursts: []workload.Burst{
+				{At: sim.Seconds(600), Duration: sim.Seconds(120), Factor: 2.5},
+			},
+		},
+	}
+	dto := FromWorkload(in)
+	b, err := json.Marshal(dto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back App
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	out, err := back.ToWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Type != in.Type || out.VC != in.VC || out.SubmitAt != in.SubmitAt {
+		t.Fatalf("identity fields: %+v vs %+v", out, in)
+	}
+	if out.Load == nil || out.Load.Base != 80 || len(out.Load.Bursts) != 1 ||
+		out.Load.Bursts[0].Factor != 2.5 || out.Load.Bursts[0].At != sim.Seconds(600) {
+		t.Fatalf("load profile lost: %+v", out.Load)
+	}
+}
+
+func TestAppValidation(t *testing.T) {
+	if _, err := (App{}).ToWorkload(); err == nil {
+		t.Fatal("missing type accepted")
+	}
+	if _, err := (App{Type: "warp"}).ToWorkload(); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("unknown type: err = %v", err)
+	}
+}
+
+func TestContractJSON(t *testing.T) {
+	c := &sla.Contract{
+		AppID: "a", NumVMs: 2,
+		Deadline: sim.Seconds(500), Price: 4000, VMPrice: 4,
+		ExecEst: sim.Seconds(416), PenaltyN: 2,
+		SLO: &sla.SLO{
+			TargetP95: sim.Seconds(0.5), Availability: 0.95,
+			Interval: sim.Seconds(10), PenaltyPerInterval: 40,
+		},
+	}
+	dto := ContractFromSLA(c)
+	b, err := json.Marshal(dto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Contract
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DeadlineS != 500 || back.NumVMs != 2 || back.SLO == nil || back.SLO.TargetP95S != 0.5 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+	if ContractFromSLA(nil) != nil {
+		t.Fatal("nil contract should stay nil")
+	}
+}
+
+func TestStatusFromOmitsEmpty(t *testing.T) {
+	st := StatusFrom(core.AppStatus{ID: "x", Phase: core.PhasePending})
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, banned := range []string{"offers", "contract", "rejection", "placement"} {
+		if strings.Contains(s, banned) {
+			t.Fatalf("pending status JSON carries %q: %s", banned, s)
+		}
+	}
+	if !strings.Contains(s, `"phase":"pending"`) {
+		t.Fatalf("missing phase: %s", s)
+	}
+}
+
+func TestOffersFromSLAIndexes(t *testing.T) {
+	offers := OffersFromSLA([]sla.Offer{
+		{NumVMs: 1, Deadline: sim.Seconds(100), Price: 10},
+		{NumVMs: 2, Deadline: sim.Seconds(60), Price: 12},
+	})
+	if len(offers) != 2 || offers[0].Index != 0 || offers[1].Index != 1 {
+		t.Fatalf("offers = %+v", offers)
+	}
+	if offers[1].DeadlineS != 60 {
+		t.Fatalf("deadline conversion = %g", offers[1].DeadlineS)
+	}
+}
+
+func TestEventAndErrorJSON(t *testing.T) {
+	e := EventFrom(core.SessionEvent{Seq: 3, Time: sim.Seconds(42), AppID: "a", Kind: "agreed", Detail: "d"})
+	b, _ := json.Marshal(e)
+	if !strings.Contains(string(b), `"time_s":42`) {
+		t.Fatalf("event JSON = %s", b)
+	}
+	b, _ = json.Marshal(Error{Error: "boom"})
+	if string(b) != `{"error":"boom"}` {
+		t.Fatalf("error JSON = %s", b)
+	}
+}

@@ -1,0 +1,276 @@
+// Package server puts an HTTP/JSON control plane on a core.Session —
+// the open-platform interface of the paper made concrete: applications
+// arrive at runtime over POST /v1/apps, negotiate their SLA over
+// /accept, /counter and /reject, and observers follow the platform
+// through /v1/vcs, /v1/metrics and the NDJSON event stream at
+// /v1/events. Handlers translate between wire DTOs (internal/api) and
+// the session API; they hold no state of their own beyond the ID
+// counter, so the split mirrors the handler/server layering of
+// service-oriented PaaS management APIs.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"meryn/internal/api"
+	"meryn/internal/core"
+	"meryn/internal/sim"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// OnMutate, when non-nil, runs after every state-changing request
+	// (submit, accept, counter, reject). The merynd virtual-time mode
+	// injects its fast-forward here; wall-clock mode leaves it nil and
+	// lets the ticker drive the session.
+	OnMutate func()
+
+	// PollInterval is the event-stream poll period (default 100 ms of
+	// wall time).
+	PollInterval time.Duration
+}
+
+// Server exposes one open session over HTTP.
+type Server struct {
+	sess   *core.Session
+	cfg    Config
+	nextID atomic.Int64
+}
+
+// New builds a server around an open session.
+func New(sess *core.Session, cfg Config) *Server {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Millisecond
+	}
+	return &Server{sess: sess, cfg: cfg}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("POST /v1/apps", s.submit)
+	mux.HandleFunc("GET /v1/apps", s.listApps)
+	mux.HandleFunc("GET /v1/apps/{id}", s.status)
+	mux.HandleFunc("POST /v1/apps/{id}/accept", s.accept)
+	mux.HandleFunc("POST /v1/apps/{id}/counter", s.counter)
+	mux.HandleFunc("POST /v1/apps/{id}/reject", s.reject)
+	mux.HandleFunc("GET /v1/vcs", s.vcs)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /v1/events", s.events)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) mutated() {
+	if s.cfg.OnMutate != nil {
+		s.cfg.OnMutate()
+	}
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// submit receives one application, schedules it, waits for the
+// proposal set and returns the submission snapshot (offers included).
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var dto api.App
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if dto.ID == "" {
+		dto.ID = fmt.Sprintf("app-%04d", s.nextID.Add(1))
+	}
+	app, err := dto.ToWorkload()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Snapshot the clock before scheduling: a future submit_at_s stays
+	// scheduled rather than awaited, so one client cannot fast-forward
+	// the shared virtual clock through everyone else's events (wall
+	// mode delivers the offers when the arrival time comes around).
+	dueNow := app.SubmitAt <= s.sess.Now()
+	neg, err := s.sess.Submit(app)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if dueNow {
+		// Drive the engine to the offer stage so the response carries
+		// the proposal set (§4.2.1's first round answers the request).
+		if err := neg.Await(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	s.mutated()
+	st, err := s.sess.Status(app.ID)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.StatusFrom(st))
+}
+
+func (s *Server) listApps(w http.ResponseWriter, _ *http.Request) {
+	sts := s.sess.Statuses()
+	out := make([]api.AppStatus, len(sts))
+	for i, st := range sts {
+		out[i] = api.StatusFrom(st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sess.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.StatusFrom(st))
+}
+
+// acceptRequest selects an offer; the zero value accepts the first.
+type acceptRequest struct {
+	OfferIndex int `json:"offer_index"`
+}
+
+func (s *Server) accept(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	neg, ok := s.sess.Negotiation(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown app %q", id)
+		return
+	}
+	var req acceptRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+	}
+	c, err := neg.Accept(req.OfferIndex)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.mutated()
+	writeJSON(w, http.StatusOK, api.ContractFromSLA(c))
+}
+
+// counterRequest imposes one metric for the next negotiation round.
+type counterRequest struct {
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+	Price     float64 `json:"price,omitempty"`
+}
+
+func (s *Server) counter(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	neg, ok := s.sess.Negotiation(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown app %q", id)
+		return
+	}
+	var req counterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.DeadlineS > 0 && req.Price > 0 {
+		writeErr(w, http.StatusBadRequest, "impose exactly one of deadline_s or price")
+		return
+	}
+	offers, err := neg.Counter(sim.Seconds(req.DeadlineS), req.Price)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.mutated()
+	writeJSON(w, http.StatusOK, api.OffersFromSLA(offers))
+}
+
+func (s *Server) reject(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	neg, ok := s.sess.Negotiation(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown app %q", id)
+		return
+	}
+	if err := neg.Reject(); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.mutated()
+	st, _ := s.sess.Status(id)
+	writeJSON(w, http.StatusOK, api.StatusFrom(st))
+}
+
+func (s *Server) vcs(w http.ResponseWriter, _ *http.Request) {
+	vcs := s.sess.VCs()
+	out := make([]api.VC, len(vcs))
+	for i, v := range vcs {
+		out[i] = api.VCFrom(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.MetricsFrom(s.sess.Metrics()))
+}
+
+// events streams the session event log as NDJSON. ?since=N resumes
+// after sequence N; ?follow=1 keeps the stream open, polling for new
+// events, until the client disconnects.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	var since int
+	if q := r.URL.Query().Get("since"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &since); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid since %q", q)
+			return
+		}
+	}
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func() {
+		for _, e := range s.sess.EventsSince(since) {
+			_ = enc.Encode(api.EventFrom(e))
+			since = e.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit()
+	if !follow {
+		return
+	}
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			emit()
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"meryn/internal/api"
+	"meryn/internal/core"
+)
+
+// boot assembles a default platform, opens a session and serves it in
+// virtual-time mode (fast-forward after every mutation), like merynd
+// -mode virtual does.
+func boot(t *testing.T) (*httptest.Server, *core.Session) {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess, Config{OnMutate: func() { sess.RunToSettle() }})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, sess
+}
+
+func doJSON(t *testing.T, method, url string, body, out any) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestSmoke is the end-to-end open-platform flow: submit one
+// application, receive offers, accept the first, and observe a
+// completed status — the paper's §4.2.1 interaction over HTTP.
+func TestSmoke(t *testing.T) {
+	ts, _ := boot(t)
+
+	var st api.AppStatus
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps",
+		api.App{Type: "batch", VMs: 1, WorkS: 600}, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if st.Phase != "negotiating" || len(st.Offers) == 0 {
+		t.Fatalf("after submit: phase=%s offers=%d", st.Phase, len(st.Offers))
+	}
+
+	var contract api.Contract
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/accept", nil, &contract)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("accept status = %d", resp.StatusCode)
+	}
+	if contract.NumVMs != st.Offers[0].NumVMs || contract.Price != st.Offers[0].Price {
+		t.Fatalf("contract %+v does not match offer %+v", contract, st.Offers[0])
+	}
+
+	var final api.AppStatus
+	doJSON(t, http.MethodGet, ts.URL+"/v1/apps/"+st.ID, nil, &final)
+	if final.Phase != "completed" {
+		t.Fatalf("final phase = %s, want completed", final.Phase)
+	}
+	if final.Placement != "local-vm" {
+		t.Fatalf("placement = %s, want local-vm (25 idle VMs in vc1)", final.Placement)
+	}
+	if final.Cost <= 0 || final.EndS <= final.StartS {
+		t.Fatalf("implausible accounting: %+v", final)
+	}
+}
+
+// TestCounterRound exercises a multi-round negotiation over HTTP: the
+// user imposes a budget, the provider counters, the user accepts.
+func TestCounterRound(t *testing.T) {
+	ts, _ := boot(t)
+
+	var st api.AppStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{Type: "batch", VMs: 1, WorkS: 600}, &st)
+	if len(st.Offers) < 2 {
+		t.Fatalf("want several offers, got %d", len(st.Offers))
+	}
+	budget := st.Offers[0].Price // the 1-VM offer's price caps anything wider
+	var offers []api.Offer
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/counter",
+		map[string]float64{"price": budget}, &offers)
+	if resp.StatusCode != http.StatusOK || len(offers) != 1 {
+		t.Fatalf("counter: status=%d offers=%d", resp.StatusCode, len(offers))
+	}
+	if offers[0].Price > budget {
+		t.Fatalf("counter-offer price %.0f exceeds imposed budget %.0f", offers[0].Price, budget)
+	}
+	var contract api.Contract
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/accept",
+		map[string]int{"offer_index": 0}, &contract)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("accept after counter: status=%d", resp.StatusCode)
+	}
+}
+
+// TestRejectAndErrors covers the failure surface: reject settles the
+// app, double-accept conflicts, unknown IDs 404, bad submissions 400.
+func TestRejectAndErrors(t *testing.T) {
+	ts, _ := boot(t)
+
+	var st api.AppStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{Type: "batch", VMs: 1, WorkS: 600}, &st)
+	var rejected api.AppStatus
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/reject", nil, &rejected)
+	if resp.StatusCode != http.StatusOK || rejected.Phase != "rejected" {
+		t.Fatalf("reject: status=%d phase=%s", resp.StatusCode, rejected.Phase)
+	}
+	var apiErr api.Error
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/accept", nil, &apiErr)
+	if resp.StatusCode != http.StatusConflict || apiErr.Error == "" {
+		t.Fatalf("accept after reject: status=%d err=%q", resp.StatusCode, apiErr.Error)
+	}
+
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/apps/nope", nil, &apiErr)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown app status = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{Type: "warp-drive"}, &apiErr)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(apiErr.Error, "warp-drive") {
+		t.Fatalf("bad type: status=%d err=%q", resp.StatusCode, apiErr.Error)
+	}
+}
+
+// TestVCsMetricsEvents checks the observability endpoints after a full
+// submit/accept/complete cycle.
+func TestVCsMetricsEvents(t *testing.T) {
+	ts, _ := boot(t)
+
+	var st api.AppStatus
+	doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{Type: "batch", VMs: 1, WorkS: 600}, &st)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/accept", nil, nil)
+
+	var vcs []api.VC
+	doJSON(t, http.MethodGet, ts.URL+"/v1/vcs", nil, &vcs)
+	if len(vcs) != 2 || vcs[0].Name != "vc1" || vcs[0].InitialVMs != 25 {
+		t.Fatalf("vcs = %+v", vcs)
+	}
+
+	var m api.Metrics
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &m)
+	if m.Submitted != 1 || m.Settled != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	kinds := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	last := 0
+	for sc.Scan() {
+		var e api.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Seq <= last {
+			t.Fatalf("event seq not increasing: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"submitted", "offers", "agreed", "started", "completed"} {
+		if !kinds[want] {
+			t.Fatalf("event stream missing kind %q (got %v)", want, kinds)
+		}
+	}
+}
+
+// TestConcurrentSubmissions hammers the submit endpoint from many
+// goroutines (httptest serves each request on its own) to exercise the
+// session locking under the race detector.
+func TestConcurrentSubmissions(t *testing.T) {
+	ts, sess := boot(t)
+
+	const n = 8
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			var st api.AppStatus
+			resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps",
+				api.App{ID: fmt.Sprintf("conc-%d", i), Type: "batch", VMs: 1, WorkS: 300}, &st)
+			if resp.StatusCode != http.StatusCreated {
+				errc <- fmt.Errorf("submit %d: status %d", i, resp.StatusCode)
+				return
+			}
+			_ = doJSON(t, http.MethodPost, ts.URL+"/v1/apps/"+st.ID+"/accept", nil, nil)
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sess.RunToSettle() {
+		t.Fatal("platform did not settle after concurrent submissions")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"meryn/internal/metrics"
 	"meryn/internal/workload"
 )
@@ -41,6 +43,9 @@ func (c *ClientManager) Submit(app workload.App) {
 	if cm == nil {
 		c.p.Counters.Rejections.Inc()
 		c.p.appSettled()
+		if neg := c.p.sessionNeg(app.ID); neg != nil {
+			neg.noteRejected(fmt.Errorf("core: no VC hosts application type %q", app.Type))
+		}
 		return
 	}
 	rec := c.p.Ledger.Open(app.ID)

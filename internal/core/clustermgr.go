@@ -285,28 +285,59 @@ func (cm *ClusterManager) BoostWithCloud(n int) {
 }
 
 // handleSubmission is the entry point after the Client Manager transfer
-// (paper §3.3): negotiate the SLA, then select resources.
+// (paper §3.3): open the SLA negotiation, then — depending on the
+// submission mode — park it for the session's interactive caller or
+// resolve it in place with the user strategy, and select resources.
 func (cm *ClusterManager) handleSubmission(app workload.App) {
 	st := &appState{app: app, rec: cm.p.Ledger.Get(app.ID)}
-	if err := cm.ad.Validate(app); err != nil {
-		cm.p.Counters.Rejections.Inc()
-		cm.p.appSettled()
-		st.rec.VC = cm.name
-		return
-	}
-	contract, err := sla.Negotiate(app.ID, cm.ad.SLAProvider(app), cm.p.cfg.UserStrategy(app))
-	if err != nil {
-		cm.p.Counters.Rejections.Inc()
-		cm.p.appSettled()
-		st.rec.VC = cm.name
-		return
-	}
-	st.contract = contract
 	st.rec.VC = cm.name
+	neg := cm.p.sessionNeg(app.ID)
+	if err := cm.ad.Validate(app); err != nil {
+		cm.rejectSubmission(neg, err)
+		return
+	}
+	m := sla.NewNegotiation(app.ID, cm.ad.SLAProvider(app))
+	if neg != nil && neg.interactive {
+		// Interactive open-platform path: the proposal set waits for the
+		// session caller's Accept/Counter/Reject.
+		neg.offersReady(cm, st, m)
+		return
+	}
+	u := cm.p.cfg.UserStrategy(app)
+	if neg != nil && neg.user != nil {
+		u = neg.user
+	}
+	contract, err := sla.Drive(m, u)
+	if err != nil {
+		cm.rejectSubmission(neg, err)
+		return
+	}
+	cm.acceptContract(st, contract)
+}
+
+// rejectSubmission settles a submission that will not run (validation
+// failure or failed negotiation).
+func (cm *ClusterManager) rejectSubmission(neg *Negotiation, err error) {
+	cm.p.Counters.Rejections.Inc()
+	cm.p.appSettled()
+	if neg != nil {
+		neg.noteRejected(err)
+	}
+}
+
+// acceptContract finalizes an agreed contract: accounting fields, app
+// registration, and the SLA-agreement/upload latency before resource
+// selection. Both negotiation paths (strategy-driven and interactive
+// Accept) converge here.
+func (cm *ClusterManager) acceptContract(st *appState, contract *sla.Contract) {
+	st.contract = contract
 	st.rec.NumVMs = contract.NumVMs
 	st.rec.Deadline = contract.AbsoluteDeadline(st.rec.SubmitTime)
 	st.rec.Price = contract.Price
-	cm.apps[app.ID] = st
+	cm.apps[st.app.ID] = st
+	if neg := cm.p.sessionNeg(st.app.ID); neg != nil {
+		neg.noteAgreed(cm, st, contract)
+	}
 	// SLA agreement + executable/input upload latency, then selection.
 	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Negotiate), func() {
 		cm.selectResources(st)
@@ -361,6 +392,7 @@ func (cm *ClusterManager) onJobStart(j *framework.Job) {
 		st.rec.PeakReplicas = j.Replicas
 	}
 	cm.openSegment(st, j)
+	cm.p.sessionEmit(j.ID, "started", "")
 }
 
 // openSegment captures the job's current node kinds and cost rates and
@@ -431,6 +463,7 @@ func (cm *ClusterManager) onJobSuspend(j *framework.Job) {
 	st.rec.Suspended = true
 	cm.closeSegment(st)
 	st.lastReplicas = 0 // a suspended service holds no replicas
+	cm.p.sessionEmit(j.ID, "suspended", "")
 }
 
 // onJobRequeue closes the segment of a job that lost its nodes to a
@@ -501,6 +534,7 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 		cm.avail += st.lastReplicas - st.contract.NumVMs
 		st.lastReplicas = 0
 	}
+	cm.p.sessionEmit(j.ID, "completed", "")
 	cm.p.appSettled()
 
 	// Release idle cloud VMs first so they never masquerade as free

@@ -200,6 +200,38 @@ type Config struct {
 // 1670 s on a cloud VM.
 const paperCloudSpeed = 1550.0 / 1670.0
 
+// DuplicateVCError reports two virtual clusters configured with the
+// same name.
+type DuplicateVCError struct{ Name string }
+
+// Error implements error.
+func (e *DuplicateVCError) Error() string {
+	return fmt.Sprintf("core: duplicate VC name %q", e.Name)
+}
+
+// SiteError reports a private site configuration that cannot host any
+// VM (e.g. a named site with zero nodes). Only the entirely zero-valued
+// Site defaults to the paper's setup; a partially filled one is a
+// mistake the platform refuses rather than silently replaces.
+type SiteError struct{ Msg string }
+
+// Error implements error.
+func (e *SiteError) Error() string { return "core: invalid private site: " + e.Msg }
+
+// VCError reports an invalid virtual-cluster entry.
+type VCError struct {
+	Name string
+	Msg  string
+}
+
+// Error implements error.
+func (e *VCError) Error() string {
+	if e.Name == "" {
+		return "core: invalid VC: " + e.Msg
+	}
+	return fmt.Sprintf("core: invalid VC %q: %s", e.Name, e.Msg)
+}
+
 // DefaultConfig returns the paper's §5.2-§5.3 experimental setup.
 func DefaultConfig() Config {
 	return Config{
@@ -241,8 +273,11 @@ func DefaultConfig() Config {
 // fillDefaults normalizes a user config in place.
 func (c *Config) fillDefaults() error {
 	d := DefaultConfig()
-	if c.Site.Nodes == 0 {
+	if c.Site == (cluster.Config{}) {
 		c.Site = d.Site
+	}
+	if c.Site.Nodes <= 0 {
+		return &SiteError{Msg: fmt.Sprintf("site %q has %d nodes (a private pool needs at least one)", c.Site.Name, c.Site.Nodes)}
 	}
 	if c.Shape == (vmm.Shape{}) {
 		c.Shape = d.Shape
@@ -302,17 +337,17 @@ func (c *Config) fillDefaults() error {
 	seen := map[string]bool{}
 	for _, vc := range c.VCs {
 		if vc.Name == "" {
-			return fmt.Errorf("core: VC with empty name")
+			return &VCError{Msg: "empty name"}
 		}
 		if seen[vc.Name] {
-			return fmt.Errorf("core: duplicate VC name %q", vc.Name)
+			return &DuplicateVCError{Name: vc.Name}
 		}
 		seen[vc.Name] = true
 		if vc.Type != workload.TypeBatch && vc.Type != workload.TypeMapReduce && vc.Type != workload.TypeService {
-			return fmt.Errorf("core: VC %q has unsupported type %q", vc.Name, vc.Type)
+			return &VCError{Name: vc.Name, Msg: fmt.Sprintf("unsupported type %q", vc.Type)}
 		}
 		if vc.InitialVMs < 0 {
-			return fmt.Errorf("core: VC %q has negative InitialVMs", vc.Name)
+			return &VCError{Name: vc.Name, Msg: fmt.Sprintf("negative InitialVMs %d", vc.InitialVMs)}
 		}
 	}
 	if c.MetricsMaxPoints != 0 && c.MetricsMaxPoints < 4 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"meryn/internal/cloud"
 	"meryn/internal/cluster"
@@ -57,8 +58,40 @@ type Platform struct {
 	CloudUsed   *metrics.Gauge // cloud VMs executing applications
 	Counters    Counters
 
-	remaining int // unsettled applications in the current Run
-	rng       *sim.RNG
+	remaining int // unsettled applications in the open session
+
+	// sessMu guards the open/close transitions of session. Engine
+	// callbacks read it while holding the driving session's own mutex;
+	// lock order is always session.mu before sessMu.
+	sessMu  sync.Mutex
+	session *Session
+
+	rng *sim.RNG
+}
+
+// currentSession returns the open session (nil when none is).
+func (p *Platform) currentSession() *Session {
+	p.sessMu.Lock()
+	defer p.sessMu.Unlock()
+	return p.session
+}
+
+// sessionNeg returns the open session's negotiation handle for an
+// application (nil without a session, or for apps the session does not
+// track).
+func (p *Platform) sessionNeg(appID string) *Negotiation {
+	s := p.currentSession()
+	if s == nil {
+		return nil
+	}
+	return s.negs[appID]
+}
+
+// sessionEmit appends to the open session's event log, if any.
+func (p *Platform) sessionEmit(appID, kind, detail string) {
+	if s := p.currentSession(); s != nil {
+		s.emitLocked(appID, kind, detail)
+	}
 }
 
 // appSettled marks one application as finished or rejected; Run stops
@@ -215,11 +248,22 @@ type Results struct {
 // events (crash injection) keep the queue from draining naturally.
 const settleGrace = sim.Time(300 * 1e9)
 
-// Run schedules the workload's submissions and drives the simulation
-// until every application has settled (finished or been rejected),
-// returning the run summary.
+// Run is the closed-world batch entry point, now a thin wrapper over
+// the session API: open a session, schedule every workload entry at its
+// arrival time with the platform's negotiation strategy, and drain. It
+// reproduces the original monolithic Run event for event.
 func (p *Platform) Run(w workload.Workload) (*Results, error) {
+	// Validate the whole workload before scheduling anything, so a bad
+	// entry leaves the platform pristine (the pre-session invariant).
+	ids := make(map[string]bool, len(w))
 	for _, app := range w {
+		if app.ID == "" {
+			return nil, fmt.Errorf("core: workload entry without an ID")
+		}
+		if ids[app.ID] {
+			return nil, fmt.Errorf("core: duplicate submission %q", app.ID)
+		}
+		ids[app.ID] = true
 		if app.VC == "" {
 			continue // routed by application type at submission
 		}
@@ -227,17 +271,21 @@ func (p *Platform) Run(w workload.Workload) (*Results, error) {
 			return nil, fmt.Errorf("core: app %s targets unknown VC %q", app.ID, app.VC)
 		}
 	}
-	p.remaining = len(w)
+	s, err := p.Open()
+	if err != nil {
+		return nil, err
+	}
 	for i := range w {
-		app := w[i]
-		p.Eng.At(app.SubmitAt, func() { p.Client.Submit(app) })
+		if _, err := s.SubmitWith(w[i], nil); err != nil {
+			s.close() // unreachable after upfront validation; belt and braces
+			return nil, err
+		}
 	}
-	for p.remaining > 0 && p.Eng.Step() {
-	}
-	// Drain follow-up work (transfers, releases, resumes) bounded by the
-	// grace window; without crash injection the queue simply empties.
-	p.Eng.Run(p.Eng.Now() + settleGrace)
+	return s.Drain()
+}
 
+// buildResults summarizes the platform's state after a drain.
+func (p *Platform) buildResults() *Results {
 	res := &Results{
 		Policy:        p.cfg.Policy,
 		Ledger:        p.Ledger,
@@ -254,5 +302,5 @@ func (p *Platform) Run(w workload.Workload) (*Results, error) {
 	for _, prov := range p.Clouds {
 		res.CloudSpend += prov.TotalSpend
 	}
-	return res, nil
+	return res
 }

@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// WriteJSONError emits {"error": "..."} to a -json target so machine
+// consumers of a failed run read a well-formed object where they
+// expected results, not silence or a half-written file. A target of
+// "-" writes to stdout (the same convention the result writers use).
+func WriteJSONError(target string, cause error, stdout io.Writer) error {
+	b, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{cause.Error()})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if target == "-" {
+		_, err = stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(target, b, 0o644)
+}

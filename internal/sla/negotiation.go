@@ -1,0 +1,155 @@
+package sla
+
+import "fmt"
+
+// NegState is the lifecycle of one negotiation.
+type NegState int
+
+// Negotiation states.
+const (
+	// NegOffered: the provider has a proposal set on the table and waits
+	// for the user's response (accept, impose a constraint, or reject).
+	NegOffered NegState = iota
+	// NegAgreed: an offer was accepted and the contract is final.
+	NegAgreed
+	// NegRejected: the user walked away.
+	NegRejected
+	// NegFailed: the round budget ran out without agreement.
+	NegFailed
+)
+
+// String implements fmt.Stringer.
+func (s NegState) String() string {
+	switch s {
+	case NegOffered:
+		return "offered"
+	case NegAgreed:
+		return "agreed"
+	case NegRejected:
+		return "rejected"
+	case NegFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Negotiation is the §4.2.1 protocol as an explicit state machine: the
+// provider opens with its proposal set, and each user response either
+// accepts an offer (-> NegAgreed), imposes one metric and receives a
+// counter-proposal set (another round), or rejects (-> NegRejected).
+// MaxRounds imposed constraints without agreement fail the negotiation
+// (-> NegFailed). Negotiate drives this machine with a User strategy;
+// interactive callers (the control-plane API) drive it one response at
+// a time.
+type Negotiation struct {
+	appID    string
+	p        *Provider
+	offers   []Offer
+	round    int
+	state    NegState
+	contract *Contract
+}
+
+// NewNegotiation opens a negotiation: the provider computes its initial
+// proposal set and the machine enters NegOffered.
+func NewNegotiation(appID string, p *Provider) *Negotiation {
+	return &Negotiation{appID: appID, p: p, offers: p.Offers(), state: NegOffered}
+}
+
+// AppID returns the application the negotiation is for.
+func (n *Negotiation) AppID() string { return n.appID }
+
+// State returns the machine's current state.
+func (n *Negotiation) State() NegState { return n.state }
+
+// Round returns the number of completed request/counter rounds.
+func (n *Negotiation) Round() int { return n.round }
+
+// Offers returns the proposal set currently on the table (nil once the
+// negotiation left NegOffered).
+func (n *Negotiation) Offers() []Offer {
+	if n.state != NegOffered {
+		return nil
+	}
+	return n.offers
+}
+
+// Contract returns the agreed contract (nil unless NegAgreed).
+func (n *Negotiation) Contract() *Contract { return n.contract }
+
+// errNotOffered formats the uniform wrong-state error.
+func (n *Negotiation) errNotOffered(verb string) error {
+	return fmt.Errorf("sla: %s %s: negotiation is %s", verb, n.appID, n.state)
+}
+
+// Accept closes the negotiation on the i-th offer of the current
+// proposal set and returns the contract.
+func (n *Negotiation) Accept(i int) (*Contract, error) {
+	if n.state != NegOffered {
+		return nil, n.errNotOffered("accepting offer for")
+	}
+	if i < 0 || i >= len(n.offers) {
+		return nil, fmt.Errorf("sla: accepting offer %d of %d for %s", i, len(n.offers), n.appID)
+	}
+	return n.AcceptOffer(n.offers[i])
+}
+
+// AcceptOffer closes the negotiation on an offer by value. The protocol
+// trusts the user's echo of a proposed pair (as Negotiate always has);
+// indexed Accept is the checked form the control-plane API uses.
+func (n *Negotiation) AcceptOffer(o Offer) (*Contract, error) {
+	if n.state != NegOffered {
+		return nil, n.errNotOffered("accepting offer for")
+	}
+	n.contract = n.p.contractFor(n.appID, o)
+	n.state = NegAgreed
+	n.offers = nil
+	return n.contract, nil
+}
+
+// Reject ends the negotiation without agreement.
+func (n *Negotiation) Reject() error {
+	if n.state != NegOffered {
+		return n.errNotOffered("rejecting")
+	}
+	n.state = NegRejected
+	n.offers = nil
+	return nil
+}
+
+// Impose opens the next round with a user-imposed constraint (exactly
+// one of resp's Impose fields): the provider answers a deadline with its
+// cheapest conforming offer and a budget with its fastest conforming
+// offer, or re-proposes the full set when it cannot conform. The round
+// budget (MaxRounds) elapsing moves the machine to NegFailed.
+func (n *Negotiation) Impose(resp Response) error {
+	if n.state != NegOffered {
+		return n.errNotOffered("countering")
+	}
+	var (
+		counter Offer
+		ok      bool
+	)
+	switch {
+	case resp.ImposeDeadline > 0:
+		counter, ok = n.p.OfferForDeadline(resp.ImposeDeadline)
+	case resp.ImposePrice > 0:
+		counter, ok = n.p.OfferForPrice(resp.ImposePrice)
+	default:
+		return fmt.Errorf("sla: empty response in round %d", n.round)
+	}
+	if ok {
+		n.offers = []Offer{counter}
+	} else {
+		// Provider cannot meet the constraint; re-propose the full set
+		// and let the user adjust (next round).
+		n.offers = n.p.Offers()
+	}
+	n.round++
+	if n.round >= MaxRounds {
+		n.state = NegFailed
+		n.offers = nil
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package sla
+
+import (
+	"testing"
+
+	"meryn/internal/sim"
+)
+
+func testProvider() *Provider {
+	return &Provider{
+		Model:      func(n int) sim.Time { return sim.Seconds(1000 / float64(n)) },
+		Processing: sim.Seconds(84),
+		VMPrice:    4,
+		MinVMs:     1,
+		MaxVMs:     4,
+	}
+}
+
+func TestNegotiationAcceptByIndex(t *testing.T) {
+	n := NewNegotiation("app", testProvider())
+	if n.State() != NegOffered {
+		t.Fatalf("state = %s", n.State())
+	}
+	offers := n.Offers()
+	if len(offers) != 4 {
+		t.Fatalf("offers = %d", len(offers))
+	}
+	c, err := n.Accept(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVMs != offers[2].NumVMs || c.Price != offers[2].Price {
+		t.Fatalf("contract %+v vs offer %+v", c, offers[2])
+	}
+	if n.State() != NegAgreed || n.Contract() != c || n.Offers() != nil {
+		t.Fatalf("post-accept machine: state=%s", n.State())
+	}
+}
+
+func TestNegotiationAcceptOutOfRange(t *testing.T) {
+	n := NewNegotiation("app", testProvider())
+	if _, err := n.Accept(-1); err == nil {
+		t.Fatal("Accept(-1) succeeded")
+	}
+	if _, err := n.Accept(4); err == nil {
+		t.Fatal("Accept(len) succeeded")
+	}
+	if n.State() != NegOffered {
+		t.Fatalf("failed accepts changed state to %s", n.State())
+	}
+}
+
+func TestNegotiationDoubleAcceptAndAfterReject(t *testing.T) {
+	n := NewNegotiation("app", testProvider())
+	if _, err := n.Accept(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Accept(0); err == nil {
+		t.Fatal("double accept succeeded")
+	}
+	if err := n.Reject(); err == nil {
+		t.Fatal("reject after accept succeeded")
+	}
+
+	m := NewNegotiation("app2", testProvider())
+	if err := m.Reject(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Accept(0); err == nil {
+		t.Fatal("accept after reject succeeded")
+	}
+	if err := m.Impose(Response{ImposePrice: 1}); err == nil {
+		t.Fatal("impose after reject succeeded")
+	}
+	if m.State() != NegRejected {
+		t.Fatalf("state = %s", m.State())
+	}
+}
+
+func TestNegotiationImposeRounds(t *testing.T) {
+	n := NewNegotiation("app", testProvider())
+	// A deadline only the 4-VM offer meets.
+	d := Deadline(sim.Seconds(260), sim.Seconds(84))
+	if err := n.Impose(Response{ImposeDeadline: d}); err != nil {
+		t.Fatal(err)
+	}
+	offers := n.Offers()
+	if len(offers) != 1 || offers[0].NumVMs != 4 {
+		t.Fatalf("counter = %+v", offers)
+	}
+	if n.Round() != 1 {
+		t.Fatalf("round = %d", n.Round())
+	}
+	// An unmeetable constraint re-proposes the full set.
+	if err := n.Impose(Response{ImposeDeadline: sim.Seconds(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Offers()) != 4 {
+		t.Fatalf("full set not re-proposed: %d offers", len(n.Offers()))
+	}
+	// Empty responses are caller errors, not rounds.
+	before := n.Round()
+	if err := n.Impose(Response{}); err == nil {
+		t.Fatal("empty impose succeeded")
+	}
+	if n.Round() != before {
+		t.Fatalf("empty impose burned a round")
+	}
+}
+
+func TestNegotiationRoundBudget(t *testing.T) {
+	n := NewNegotiation("app", testProvider())
+	for i := 0; i < MaxRounds; i++ {
+		if st := n.State(); st != NegOffered {
+			t.Fatalf("round %d: state = %s", i, st)
+		}
+		if err := n.Impose(Response{ImposePrice: 0.001}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.State() != NegFailed {
+		t.Fatalf("state after %d rounds = %s", MaxRounds, n.State())
+	}
+	if _, err := n.Accept(0); err == nil {
+		t.Fatal("accept after failure succeeded")
+	}
+}
+
+// TestDriveMatchesMachine pins the equivalence between the one-shot
+// Negotiate driver and the state machine for each stock strategy.
+func TestDriveMatchesMachine(t *testing.T) {
+	users := map[string]User{
+		"first":    AcceptFirst{},
+		"cheapest": AcceptCheapest{},
+		"deadline": DeadlineBound{Deadline: Deadline(sim.Seconds(600), sim.Seconds(84))},
+		"budget":   BudgetBound{Budget: 5000},
+		"picky":    Picky{Budget: 5000, Deadline: sim.Seconds(200)},
+	}
+	for name, u := range users {
+		c1, err1 := Negotiate("app", testProvider(), u)
+		c2, err2 := Drive(NewNegotiation("app", testProvider()), u)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: err mismatch %v vs %v", name, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if c1.NumVMs != c2.NumVMs || c1.Price != c2.Price || c1.Deadline != c2.Deadline {
+			t.Fatalf("%s: contracts differ: %+v vs %+v", name, c1, c2)
+		}
+	}
+}

@@ -200,33 +200,27 @@ var ErrNoAgreement = errors.New("sla: negotiation ended without agreement")
 // agrees", a patience we cap to keep simulations finite.
 const MaxRounds = 16
 
-// Negotiate runs the protocol of §4.2.1 and returns the agreed contract.
+// Negotiate runs the protocol of §4.2.1 to completion by driving the
+// Negotiation state machine with a User strategy, and returns the agreed
+// contract. Interactive callers use NewNegotiation directly and respond
+// one round at a time.
 func Negotiate(appID string, p *Provider, u User) (*Contract, error) {
-	offers := p.Offers()
-	for round := 0; round < MaxRounds; round++ {
-		resp := u.Respond(round, offers)
+	return Drive(NewNegotiation(appID, p), u)
+}
+
+// Drive resolves an open negotiation with a User strategy: the user
+// responds to each proposal set until it accepts (returning the
+// contract), sends an invalid response (returning that error), or the
+// machine fails on the round budget (ErrNoAgreement).
+func Drive(n *Negotiation, u User) (*Contract, error) {
+	for n.State() == NegOffered {
+		resp := u.Respond(n.Round(), n.Offers())
 		if resp.Accept != nil {
-			return p.contractFor(appID, *resp.Accept), nil
+			return n.AcceptOffer(*resp.Accept)
 		}
-		var (
-			counter Offer
-			ok      bool
-		)
-		switch {
-		case resp.ImposeDeadline > 0:
-			counter, ok = p.OfferForDeadline(resp.ImposeDeadline)
-		case resp.ImposePrice > 0:
-			counter, ok = p.OfferForPrice(resp.ImposePrice)
-		default:
-			return nil, fmt.Errorf("sla: empty response in round %d", round)
+		if err := n.Impose(resp); err != nil {
+			return nil, err
 		}
-		if !ok {
-			// Provider cannot meet the constraint; re-propose the full
-			// set and let the user adjust (next round).
-			offers = p.Offers()
-			continue
-		}
-		offers = []Offer{counter}
 	}
 	return nil, ErrNoAgreement
 }

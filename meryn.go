@@ -68,6 +68,64 @@ const (
 	PolicyStatic = core.PolicyStatic
 )
 
+// Session API: the interactive open-platform surface. Open a session
+// on a Platform, Submit applications at runtime, respond to SLA offers,
+// advance virtual time with Step, observe with Status, and Drain for
+// the run summary. Platform.Run is a thin wrapper over this API; the
+// merynd daemon serves it over HTTP.
+type (
+	// Session is an open submission window on a platform.
+	Session = core.Session
+	// Negotiation is the handle on one submission's SLA negotiation.
+	Negotiation = core.Negotiation
+	// NegotiationState is a negotiation handle's lifecycle state.
+	NegotiationState = core.NegotiationState
+	// AppStatus is a point-in-time snapshot of one submission.
+	AppStatus = core.AppStatus
+	// AppPhase is an application's coarse lifecycle position.
+	AppPhase = core.AppPhase
+	// SessionEvent is one entry of the session's event log.
+	SessionEvent = core.SessionEvent
+	// VCStatus is a point-in-time snapshot of one virtual cluster.
+	VCStatus = core.VCStatus
+	// PlatformMetrics is a platform-wide gauge/counter snapshot.
+	PlatformMetrics = core.PlatformMetrics
+)
+
+// Negotiation handle states.
+const (
+	// NegotiationPending: submission scheduled, transfer in flight.
+	NegotiationPending = core.NegotiationPending
+	// NegotiationOffered: the proposal set awaits a response.
+	NegotiationOffered = core.NegotiationOffered
+	// NegotiationAccepted: a contract was agreed.
+	NegotiationAccepted = core.NegotiationAccepted
+	// NegotiationRejected: the submission will not run.
+	NegotiationRejected = core.NegotiationRejected
+)
+
+// Application phases reported by Session.Status.
+const (
+	PhasePending     = core.PhasePending
+	PhaseNegotiating = core.PhaseNegotiating
+	PhaseRejected    = core.PhaseRejected
+	PhasePlacing     = core.PhasePlacing
+	PhaseQueued      = core.PhaseQueued
+	PhaseRunning     = core.PhaseRunning
+	PhaseSuspended   = core.PhaseSuspended
+	PhaseCompleted   = core.PhaseCompleted
+)
+
+// Typed configuration errors (returned by New; match with errors.As).
+type (
+	// DuplicateVCError reports two VCs sharing a name.
+	DuplicateVCError = core.DuplicateVCError
+	// SiteError reports a private site that cannot host any VM.
+	SiteError = core.SiteError
+	// VCError reports an invalid virtual-cluster entry.
+	VCError = core.VCError
+)
+
 // Workload types.
 type (
 	// App is the uniform submission template.

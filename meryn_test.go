@@ -1,9 +1,68 @@
 package meryn
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
+
+func TestRunExperimentUnknownName(t *testing.T) {
+	_, err := RunExperiment("not-an-experiment", 1)
+	if err == nil {
+		t.Fatal("unknown experiment succeeded")
+	}
+	var ue *UnknownExperimentError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %T %v, want *UnknownExperimentError", err, err)
+	}
+	if ue.Name != "not-an-experiment" {
+		t.Fatalf("ue.Name = %q", ue.Name)
+	}
+	if !strings.Contains(err.Error(), "not-an-experiment") {
+		t.Fatalf("message %q does not name the experiment", err.Error())
+	}
+}
+
+func TestFacadeTypedConfigErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VCs = append(cfg.VCs, VCConfig{Name: "vc1", Type: TypeBatch})
+	_, err := New(cfg)
+	var dup *DuplicateVCError
+	if !errors.As(err, &dup) || dup.Name != "vc1" {
+		t.Fatalf("err = %v, want *DuplicateVCError{vc1}", err)
+	}
+}
+
+func TestFacadeSessionLifecycle(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := s.Submit(App{ID: "live-1", Type: TypeBatch, VC: "vc1", VMs: 1, Work: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := neg.Await(); err != nil {
+		t.Fatal(err)
+	}
+	if neg.State() != NegotiationOffered {
+		t.Fatalf("state = %v", neg.State())
+	}
+	if _, err := neg.Accept(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg := AggregateAll(res); agg.N != 1 || agg.DeadlinesMissed != 0 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
 
 func TestFacadeQuickstart(t *testing.T) {
 	p, err := New(DefaultConfig())
