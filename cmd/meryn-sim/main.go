@@ -182,6 +182,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := printSummary(stdout, res); err != nil {
 		return fail(err)
 	}
+	if rows := cloudRows(p); len(rows) > 0 {
+		fmt.Fprintln(stdout)
+		if err := report.CloudBreakdown(rows).Render(stdout); err != nil {
+			return fail(err)
+		}
+	}
 
 	if *chart {
 		c := report.Chart{
@@ -309,6 +315,29 @@ func runSweep(out io.Writer, spec string, seed int64, opt exp.Options, jsonPath 
 	return nil
 }
 
+// cloudRows maps a platform's providers into the cloud-breakdown table
+// rows, empty when no provider saw any activity.
+func cloudRows(p *meryn.Platform) []report.CloudProviderStats {
+	var rows []report.CloudProviderStats
+	active := false
+	for _, prov := range p.Clouds {
+		rows = append(rows, report.CloudProviderStats{
+			Name:        prov.Name(),
+			Launches:    prov.Launches.Count,
+			Revocations: prov.Revocations.Count,
+			Spend:       prov.TotalSpend,
+			SpotSpend:   prov.SpotSpend,
+		})
+		if prov.Launches.Count > 0 || prov.TotalSpend > 0 {
+			active = true
+		}
+	}
+	if !active {
+		return nil
+	}
+	return rows
+}
+
 func printSummary(out io.Writer, res *meryn.Results) error {
 	agg := meryn.AggregateAll(res)
 	fmt.Fprintf(out, "policy: %s\n", res.Policy)
@@ -329,6 +358,11 @@ func printSummary(out io.Writer, res *meryn.Results) error {
 		res.Counters.CloudLeases.Count, res.Counters.Suspensions.Count,
 		res.Counters.Resumes.Count)
 	fmt.Fprintf(out, "cloud spend (provider charges): %.0f units\n", res.CloudSpend)
+	if res.Counters.SpotLeases.Count > 0 || res.Counters.SpotRevocations.Count > 0 {
+		fmt.Fprintf(out, "spot: leases=%d revocations=%d fallbacks=%d spend=%.0f units\n",
+			res.Counters.SpotLeases.Count, res.Counters.SpotRevocations.Count,
+			res.Counters.SpotFallbacks.Count, res.SpotSpend)
+	}
 
 	for _, vc := range res.Ledger.VCs() {
 		a := meryn.AggregateVC(res, vc)

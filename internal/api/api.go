@@ -289,6 +289,7 @@ type Metrics struct {
 	PrivateUsed int              `json:"private_used"`
 	CloudUsed   int              `json:"cloud_used"`
 	CloudSpend  float64          `json:"cloud_spend"`
+	SpotSpend   float64          `json:"spot_spend"` // spot-lease share of cloud_spend
 	EventsFired uint64           `json:"events_fired"`
 	Submitted   int              `json:"submitted"`
 	Settled     int              `json:"settled"`
@@ -303,6 +304,7 @@ func MetricsFrom(m core.PlatformMetrics) Metrics {
 		PrivateUsed: m.PrivateUsed,
 		CloudUsed:   m.CloudUsed,
 		CloudSpend:  m.CloudSpend,
+		SpotSpend:   m.SpotSpend,
 		EventsFired: m.EventsFired,
 		Submitted:   m.Submitted,
 		Settled:     m.Settled,
@@ -323,6 +325,9 @@ func MetricsFrom(m core.PlatformMetrics) Metrics {
 			"replica_scale_outs": c.ReplicaScaleOuts.Count,
 			"replica_scale_ins":  c.ReplicaScaleIns.Count,
 			"replica_reclaims":   c.ReplicaReclaims.Count,
+			"spot_leases":        c.SpotLeases.Count,
+			"spot_revocations":   c.SpotRevocations.Count,
+			"spot_fallbacks":     c.SpotFallbacks.Count,
 		},
 	}
 }
@@ -360,6 +365,8 @@ type Results struct {
 	TotalRevenue    float64 `json:"total_revenue"`
 	TotalProfit     float64 `json:"total_profit"`
 	CloudSpend      float64 `json:"cloud_spend"`
+	SpotSpend       float64 `json:"spot_spend,omitempty"`
+	Revocations     int     `json:"revocations,omitempty"` // cloud nodes lost to preemption/crashes
 	EventsFired     uint64  `json:"events_fired"`
 }
 
@@ -377,6 +384,8 @@ func ResultsFrom(r *core.Results) Results {
 		TotalRevenue:    agg.TotalRevenue,
 		TotalProfit:     agg.TotalProfit,
 		CloudSpend:      r.CloudSpend,
+		SpotSpend:       r.SpotSpend,
+		Revocations:     agg.Revocations,
 		EventsFired:     r.EventsFired,
 	}
 }

@@ -1,14 +1,19 @@
 // Package cloud simulates public IaaS providers (the paper's Amazon-EC2-
 // like clouds). A Provider offers instance types at fixed or market
 // (spot-like) prices, launches instances after a provisioning latency,
-// and bills leases per second or per hour. The paper assumes infinite
-// cloud capacity; providers default to that but support quotas, and API
-// failure injection exercises the bursting error paths.
+// and bills leases per second or per hour. Leases come in two kinds:
+// on-demand (never preempted) and spot (carrying a bid; the lease is
+// revoked on the market tick whose price first exceeds the bid, the
+// defining risk Algorithm 1's "current market VM price" query prices
+// in). The paper assumes infinite cloud capacity; providers default to
+// that but support quotas, and API failure injection exercises the
+// bursting error paths.
 package cloud
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"meryn/internal/metrics"
@@ -63,10 +68,19 @@ type Instance struct {
 	SpeedFactor float64
 	State       InstanceState
 
+	// Spot marks a preemptible lease; Bid is the most the holder pays
+	// per VM-second. The lease is revoked when the market price exceeds
+	// the bid.
+	Spot bool
+	Bid  float64
+	// Revoked is set when the provider preempted the lease (market
+	// crossed the bid) rather than the holder terminating it.
+	Revoked bool
+
 	LaunchedAt    sim.Time // when the instance became running
-	PriceAtLaunch float64  // units per VM-second locked at launch
+	PriceAtLaunch float64  // units per VM-second locked at launch completion
 	TerminatedAt  sim.Time
-	Charge        float64 // final bill, set at termination
+	Charge        float64 // final bill, set at termination or revocation
 }
 
 // MarketConfig enables spot-like price movement around each type's base
@@ -102,6 +116,7 @@ var (
 	ErrLaunchFailed = errors.New("cloud: launch request failed")
 	ErrNotFound     = errors.New("cloud: no such instance")
 	ErrBadState     = errors.New("cloud: instance not running")
+	ErrOutbid       = errors.New("cloud: spot bid below current market price")
 )
 
 // Provider is one public cloud endpoint.
@@ -114,18 +129,33 @@ type Provider struct {
 	marketAt   sim.Time // last market advance
 	namesCache []string
 	images     map[string]bool
-	leases     map[string]*Instance
-	nextID     int
-	active     int
+	// leases holds pending and running instances only: settled leases
+	// (terminated, revoked, failed) are pruned so long-running wall-mode
+	// deployments do not grow without bound. Aggregates (TotalSpend,
+	// counters) survive the pruning.
+	leases  map[string]*Instance
+	nextID  int
+	active  int
+	spotRun []*Instance // running spot leases in launch order
+	watchOn bool        // a market-tick revocation check is scheduled
+
+	// onRevoke is called synchronously when a spot lease is revoked,
+	// after its partial charge has settled.
+	onRevoke func(*Instance)
 
 	// UsedGauge tracks pending+running instances over time (Figure 5's
 	// "Cloud VMs" curve is the sum of these across providers).
 	UsedGauge *metrics.Gauge
 	// TotalSpend accumulates final charges from terminated leases.
 	TotalSpend float64
-	// Launches and Failures count API outcomes.
-	Launches metrics.Counter
-	Failures metrics.Counter
+	// SpotSpend is the spot-lease share of TotalSpend.
+	SpotSpend float64
+	// Launches and Failures count API outcomes; Revocations counts
+	// running spot leases preempted by the market (requests outbid
+	// during provisioning are cancelled unbilled and not counted).
+	Launches    metrics.Counter
+	Failures    metrics.Counter
+	Revocations metrics.Counter
 }
 
 // New validates cfg and returns a Provider.
@@ -177,9 +207,10 @@ func New(eng *sim.Engine, cfg Config) (*Provider, error) {
 
 // advanceMarkets steps every market price forward to the present. Prices
 // move lazily — one Step per elapsed tick since the last advance — so no
-// periodic event keeps the simulation alive artificially. The step count
-// per call is bounded; extremely long idle gaps advance by the cap,
-// which preserves the stationary distribution.
+// periodic event keeps the simulation alive artificially (while spot
+// leases are live, the revocation watch advances the markets tick by
+// tick instead). The step count per call is bounded; extremely long idle
+// gaps advance by the cap, which preserves the stationary distribution.
 func (p *Provider) advanceMarkets() {
 	if p.cfg.Market == nil {
 		return
@@ -226,27 +257,65 @@ func (p *Provider) RegisterImage(name string) { p.images[name] = true }
 // Active returns the number of pending+running instances.
 func (p *Provider) Active() int { return p.active }
 
-// Quote returns the current price (units per VM-second) for an instance
-// type: the market price when market pricing is enabled, the fixed
-// on-demand price otherwise. This is the "current market VM price"
-// request in the paper's Algorithm 1.
-func (p *Provider) Quote(typeName string) (float64, error) {
-	it, ok := p.types[typeName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
-	}
-	if m, ok := p.markets[typeName]; ok {
-		p.advanceMarkets()
-		return m.Current(), nil
-	}
-	return it.Price, nil
+// MarketPriced reports whether the type's quotes move with the
+// simulated spot market (false under fixed on-demand pricing, where a
+// spot lease can never be revoked and carries no expected discount).
+func (p *Provider) MarketPriced(typeName string) bool {
+	_, ok := p.markets[typeName]
+	return ok
 }
 
-// Launch leases a new instance with the given image. The completion fires
-// after the provisioning latency with the running instance, or
-// synchronously with an error (unknown type, missing image, quota) or
-// after the latency with ErrLaunchFailed when failure injection strikes.
+// LeaseCount returns the number of tracked (pending+running) leases.
+// Settled leases are pruned, so in a quiesced provider this is zero.
+func (p *Provider) LeaseCount() int { return len(p.leases) }
+
+// SetOnRevoke installs the revocation callback. It fires synchronously
+// inside the market tick that revokes a spot lease, after the partial
+// charge has settled, so the holder can detach the VM and requeue work.
+func (p *Provider) SetOnRevoke(fn func(*Instance)) { p.onRevoke = fn }
+
+// priceOf returns the current price of a known instance type: the
+// market price when market pricing is enabled, the fixed on-demand
+// price otherwise.
+func (p *Provider) priceOf(typeName string) float64 {
+	if m, ok := p.markets[typeName]; ok {
+		p.advanceMarkets()
+		return m.Current()
+	}
+	return p.types[typeName].Price
+}
+
+// Quote returns the current price (units per VM-second) for an instance
+// type. This is the "current market VM price" request in the paper's
+// Algorithm 1.
+func (p *Provider) Quote(typeName string) (float64, error) {
+	if _, ok := p.types[typeName]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	return p.priceOf(typeName), nil
+}
+
+// Launch leases a new on-demand instance with the given image. The
+// completion fires after the provisioning latency with the running
+// instance, or synchronously with an error (unknown type, missing
+// image, quota) or after the latency with ErrLaunchFailed when failure
+// injection strikes.
 func (p *Provider) Launch(typeName, image string, done func(*Instance, error)) {
+	p.launch(typeName, image, false, 0, done)
+}
+
+// LaunchSpot leases a preemptible instance at the given bid (units per
+// VM-second). A bid below the current quote fails synchronously with
+// ErrOutbid; a request the market outbids during provisioning is
+// cancelled (ErrOutbid, nothing billed); a running spot lease is
+// revoked on the market tick whose price first exceeds the bid, with
+// the partial charge settled at PriceAtLaunch and the OnRevoke callback
+// fired.
+func (p *Provider) LaunchSpot(typeName, image string, bid float64, done func(*Instance, error)) {
+	p.launch(typeName, image, true, bid, done)
+}
+
+func (p *Provider) launch(typeName, image string, spot bool, bid float64, done func(*Instance, error)) {
 	if done == nil {
 		panic("cloud: Launch with nil completion")
 	}
@@ -263,10 +332,11 @@ func (p *Provider) Launch(typeName, image string, done func(*Instance, error)) {
 		done(nil, ErrQuota)
 		return
 	}
-	price, err := p.Quote(typeName)
-	if err != nil {
-		done(nil, err)
-		return
+	if spot {
+		if price := p.priceOf(typeName); bid < price {
+			done(nil, fmt.Errorf("%w: bid %g < %g for %q", ErrOutbid, bid, price, typeName))
+			return
+		}
 	}
 	inst := &Instance{
 		ID:          fmt.Sprintf("%s-i%04d", p.cfg.Name, p.nextID),
@@ -276,6 +346,8 @@ func (p *Provider) Launch(typeName, image string, done func(*Instance, error)) {
 		Shape:       it.Shape,
 		SpeedFactor: it.SpeedFactor,
 		State:       InstancePending,
+		Spot:        spot,
+		Bid:         bid,
 	}
 	p.nextID++
 	p.leases[inst.ID] = inst
@@ -286,22 +358,49 @@ func (p *Provider) Launch(typeName, image string, done func(*Instance, error)) {
 	failed := p.cfg.FailureProb > 0 && p.rng.Float64() < p.cfg.FailureProb
 	p.eng.Schedule(lat, func() {
 		if failed {
-			inst.State = InstanceTerminated
-			p.active--
-			p.UsedGauge.Add(p.eng.Now(), -1)
+			p.drop(inst)
 			p.Failures.Inc()
 			done(nil, ErrLaunchFailed)
+			return
+		}
+		// The price locks at launch completion, not at request time:
+		// under market pricing the market moves during the provisioning
+		// latency, and billing at the stale request-time quote would
+		// diverge from every quote observed once the VM exists.
+		price := p.priceOf(inst.Type)
+		if inst.Spot && price > inst.Bid {
+			// Outbid while provisioning: the request is cancelled
+			// before the instance ever runs; nothing is billed and it
+			// does not count as a revocation (it never held capacity).
+			p.drop(inst)
+			done(nil, fmt.Errorf("%w: outbid at launch (%g > %g)", ErrOutbid, price, inst.Bid))
 			return
 		}
 		inst.State = InstanceRunning
 		inst.LaunchedAt = p.eng.Now()
 		inst.PriceAtLaunch = price
 		p.Launches.Inc()
+		if inst.Spot {
+			p.spotRun = append(p.spotRun, inst)
+			p.ensureSpotWatch()
+		}
 		done(inst, nil)
 	})
 }
 
-// Terminate stops a lease. The completion receives the final charge.
+// drop removes a never-ran lease (failed or outbid during provisioning)
+// and releases its capacity.
+func (p *Provider) drop(inst *Instance) {
+	inst.State = InstanceTerminated
+	p.active--
+	p.UsedGauge.Add(p.eng.Now(), -1)
+	delete(p.leases, inst.ID)
+}
+
+// Terminate stops a lease. The completion receives the final charge. If
+// the lease is revoked while the terminate request is in flight, the
+// revocation settles the charge and the completion reports it without
+// settling twice.
 func (p *Provider) Terminate(id string, done func(charge float64, err error)) {
 	if done == nil {
 		panic("cloud: Terminate with nil completion")
@@ -317,36 +416,132 @@ func (p *Provider) Terminate(id string, done func(charge float64, err error)) {
 	}
 	lat := sim.Seconds(p.cfg.TerminateLatency.Sample(p.rng))
 	p.eng.Schedule(lat, func() {
-		inst.State = InstanceTerminated
-		inst.TerminatedAt = p.eng.Now()
-		inst.Charge = p.bill(inst)
-		p.TotalSpend += inst.Charge
-		p.active--
-		p.UsedGauge.Add(p.eng.Now(), -1)
+		if inst.State != InstanceRunning {
+			done(inst.Charge, nil)
+			return
+		}
+		p.settle(inst)
 		done(inst.Charge, nil)
 	})
 }
 
+// settle finalizes a running lease at the present time: final charge,
+// spend aggregates, capacity release and lease-table pruning.
+func (p *Provider) settle(inst *Instance) {
+	now := p.eng.Now()
+	inst.State = InstanceTerminated
+	inst.TerminatedAt = now
+	inst.Charge = p.bill(inst)
+	p.TotalSpend += inst.Charge
+	if inst.Spot {
+		p.SpotSpend += inst.Charge
+		p.dropSpotRun(inst.ID)
+	}
+	p.active--
+	p.UsedGauge.Add(now, -1)
+	delete(p.leases, inst.ID)
+}
+
+// dropSpotRun removes a lease from the running-spot order.
+func (p *Provider) dropSpotRun(id string) {
+	for i, inst := range p.spotRun {
+		if inst.ID == id {
+			p.spotRun = append(p.spotRun[:i], p.spotRun[i+1:]...)
+			return
+		}
+	}
+}
+
+// ensureSpotWatch schedules the market-tick revocation check. The watch
+// lives only while running spot leases exist, so runs without spot
+// activity schedule no extra events (and stay event-for-event identical
+// to builds without this machinery).
+func (p *Provider) ensureSpotWatch() {
+	if p.watchOn || p.cfg.Market == nil || len(p.spotRun) == 0 {
+		return
+	}
+	p.watchOn = true
+	p.eng.Schedule(p.cfg.Market.Tick, p.spotWatchTick)
+}
+
+// spotWatchTick advances the markets one tick and revokes every running
+// spot lease whose bid the new price exceeds, in launch order.
+func (p *Provider) spotWatchTick() {
+	p.watchOn = false
+	p.advanceMarkets()
+	// Collect first: revocation callbacks re-enter the provider
+	// (replacement launches) and mutate spotRun.
+	var revoked []*Instance
+	for _, inst := range p.spotRun {
+		if m := p.markets[inst.Type]; m != nil && m.Current() > inst.Bid {
+			revoked = append(revoked, inst)
+		}
+	}
+	for _, inst := range revoked {
+		p.revoke(inst)
+	}
+	p.ensureSpotWatch()
+}
+
+// Revoke preempts a running spot lease immediately, as if the market
+// had crossed its bid — the failure-injection entry point mirroring
+// what the market watch does on a crossing tick.
+func (p *Provider) Revoke(id string) error {
+	inst, ok := p.leases[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if inst.State != InstanceRunning || !inst.Spot {
+		return fmt.Errorf("%w: %s is not a running spot lease", ErrBadState, id)
+	}
+	p.revoke(inst)
+	return nil
+}
+
+// revoke preempts a running spot lease: the partial charge settles at
+// PriceAtLaunch for the consumed VM-seconds, capacity frees, and the
+// OnRevoke callback lets the platform requeue the lost work.
+func (p *Provider) revoke(inst *Instance) {
+	inst.Revoked = true
+	p.settle(inst)
+	p.Revocations.Inc()
+	if p.onRevoke != nil {
+		p.onRevoke(inst)
+	}
+}
+
+// billedHours returns the whole hours charged for a duration under
+// per-hour billing: any started hour bills in full, but a duration
+// landing within float noise above an exact hour multiple must not buy
+// an extra whole hour (the tolerance, 1e-9 hours ≈ 3.6 µs, is far
+// below the per-second billing resolution).
+func billedHours(secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	hours := secs / 3600
+	nearest := math.Round(hours)
+	if nearest > 0 && math.Abs(hours-nearest) <= 1e-9*nearest {
+		return nearest
+	}
+	return math.Ceil(hours)
+}
+
+// charge prices a duration at a locked per-VM-second rate under the
+// provider's billing model — the one place per-hour rounding happens.
+func (p *Provider) charge(secs, price float64) float64 {
+	if secs < 0 {
+		secs = 0
+	}
+	if p.cfg.Billing == BillPerHour {
+		return billedHours(secs) * 3600 * price
+	}
+	return secs * price
+}
+
 // bill computes the lease charge under the provider's billing model.
 func (p *Provider) bill(inst *Instance) float64 {
-	dur := sim.ToSeconds(inst.TerminatedAt - inst.LaunchedAt)
-	if dur < 0 {
-		dur = 0
-	}
-	switch p.cfg.Billing {
-	case BillPerHour:
-		hours := dur / 3600
-		whole := float64(int(hours))
-		if hours > whole {
-			whole++
-		}
-		if whole == 0 && dur > 0 {
-			whole = 1
-		}
-		return whole * 3600 * inst.PriceAtLaunch
-	default:
-		return dur * inst.PriceAtLaunch
-	}
+	return p.charge(sim.ToSeconds(inst.TerminatedAt-inst.LaunchedAt), inst.PriceAtLaunch)
 }
 
 // CostIfRunFor returns what a lease of the given type would cost for a
@@ -357,22 +552,5 @@ func (p *Provider) CostIfRunFor(typeName string, d sim.Time) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	secs := sim.ToSeconds(d)
-	if secs < 0 {
-		secs = 0
-	}
-	switch p.cfg.Billing {
-	case BillPerHour:
-		hours := secs / 3600
-		whole := float64(int(hours))
-		if hours > whole {
-			whole++
-		}
-		if whole == 0 && secs > 0 {
-			whole = 1
-		}
-		return whole * 3600 * price, nil
-	default:
-		return secs * price, nil
-	}
+	return p.charge(sim.ToSeconds(d), price), nil
 }

@@ -51,6 +51,15 @@ type appState struct {
 	// and shrink. Always 0 for batch/mapreduce applications.
 	lastReplicas int
 
+	// revocations counts cloud capacity losses (market revocations of
+	// attached nodes and of still-configuring leases, and cloud VM
+	// crashes) this application has absorbed; past the VC's
+	// SpotPolicy.MaxRevocations, further capacity is leased on-demand
+	// instead of on the spot market. fellBack limits the forced
+	// fallback counter to one count per application.
+	revocations int
+	fellBack    bool
+
 	controller *AppController
 }
 
@@ -257,31 +266,28 @@ func (cm *ClusterManager) freePrivateCount() int {
 	return cm.fw.FreeNodeCount(false)
 }
 
-// BoostWithCloud leases n cloud VMs and adds them to the VC as
-// uncommitted extra capacity — the scale-out action used by enforcement
-// policies (paper §3.3 leaves SLA-violation handling open). The idle-
-// cloud garbage collector reclaims the VMs once the pressure passes.
+// BoostWithCloud leases n cloud VMs (spot when the VC's policy says so)
+// and adds them to the VC as uncommitted extra capacity — the scale-out
+// action used by enforcement policies (paper §3.3 leaves SLA-violation
+// handling open). The idle-cloud garbage collector reclaims the VMs
+// once the pressure passes.
 func (cm *ClusterManager) BoostWithCloud(n int) {
 	if n <= 0 {
 		return
 	}
-	p, typeName, _ := cm.cheapestCloud(n, sim.Seconds(cm.p.cfg.ProcessingEstimate))
+	dur := sim.Seconds(cm.p.cfg.ProcessingEstimate)
+	p, typeName, _ := cm.cheapestCloud(n, dur, nil)
 	if p == nil {
 		return
 	}
-	cm.p.RM.Lease(p, typeName, cm.Image(), n, func(insts []*cloud.Instance, err error) {
-		if err != nil {
-			cm.p.Counters.CloudFailures.Inc()
-			return
-		}
-		cm.p.Counters.CloudLeases.AddN(int64(n))
-		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.CloudConfigure), func() {
-			for _, inst := range insts {
+	cm.leaseVia(p, typeName, n, dur, cm.spotAllowed(nil),
+		func(p *cloud.Provider, live []*cloud.Instance, lost int) {
+			for _, inst := range live {
 				cm.attachCloud(inst, p)
 			}
 			cm.retryPending()
-		})
-	})
+		},
+		func() {}) // boosts are best-effort; sustained pressure re-fires the enforcer
 }
 
 // handleSubmission is the entry point after the Client Manager transfer
@@ -482,17 +488,26 @@ func (cm *ClusterManager) onJobRequeue(j *framework.Job) {
 	}
 }
 
-// handleNodeCrash reacts to a private VM crash: detach the node, let the
-// framework requeue affected work, and provision a replacement VM (the
-// crash freed hosting capacity).
+// handleNodeCrash reacts to an attached node dying: detach it, let the
+// framework requeue affected work, and heal. A private VM is replaced
+// from the private pool (the crash freed hosting capacity); a cloud
+// lease instead settles with the provider and re-leases through the
+// path shared with spot revocation — it used to be treated as private
+// here, which leaked the lease (provider active count and usage gauge
+// inflated forever, the charge never settled) and corrupted the
+// OwnedPrivate count.
 func (cm *ClusterManager) handleNodeCrash(id string) {
+	cm.p.Counters.NodeCrashes.Inc()
+	if info := cm.nodes[id]; info != nil && info.cloud {
+		cm.handleCloudLoss(id, true)
+		return
+	}
 	if err := cm.fw.FailNode(id); err != nil {
 		panic(fmt.Sprintf("core: failing crashed node %s: %v", id, err))
 	}
 	delete(cm.nodes, id)
 	cm.OwnedPrivate--
 	cm.avail-- // attached count dropped; commitments stand
-	cm.p.Counters.NodeCrashes.Inc()
 
 	cm.p.RM.StartPrivate(cm.Image(), 1, func(vms []*vmm.VM, err error) {
 		if err != nil {
@@ -507,6 +522,76 @@ func (cm *ClusterManager) handleNodeCrash(id string) {
 			cm.retryPending()
 		})
 	})
+}
+
+// handleCloudRevocation reacts to the provider preempting a spot lease
+// this CM holds. The provider already settled the partial charge and
+// released the lease; the CM's job is requeueing the lost work and
+// re-running resource selection for replacement capacity.
+func (cm *ClusterManager) handleCloudRevocation(id string) {
+	cm.p.Counters.SpotRevocations.Inc()
+	cm.handleCloudLoss(id, false)
+}
+
+// handleCloudLoss detaches a cloud node lost involuntarily — a market
+// revocation (already settled provider-side) or a crash (settleLease:
+// the lease is still active and must be terminated so the charge
+// settles and quota frees). Work on the node requeues through the
+// framework's FailNode machinery; when an application was hit, one
+// replacement instance is re-leased, falling back to on-demand once the
+// application exhausts the VC's spot revocation budget.
+func (cm *ClusterManager) handleCloudLoss(id string, settleLease bool) {
+	info := cm.nodes[id]
+	if info == nil {
+		return
+	}
+	hit := cm.appsOnNode(id)
+	if err := cm.fw.FailNode(id); err != nil {
+		panic(fmt.Sprintf("core: failing cloud node %s: %v", id, err))
+	}
+	delete(cm.nodes, id)
+	cm.avail-- // attached count dropped; commitments stand
+	if settleLease && info.provider != nil {
+		cm.p.RM.Release(info.provider, info.instID)
+	}
+	if len(hit) == 0 {
+		return // the node was idle; nothing to re-run
+	}
+	for _, st := range hit {
+		st.revocations++
+		st.rec.Revocations++
+	}
+	// One node lost, one replacement; its spot/on-demand choice follows
+	// the most-revoked affected application (conservative fallback).
+	worst := hit[0]
+	for _, st := range hit[1:] {
+		if st.revocations > worst.revocations {
+			worst = st
+		}
+	}
+	cm.leaseReplacement(worst)
+}
+
+// appsOnNode returns the applications occupying a node, in running
+// order — the work a revocation or crash is about to hit.
+func (cm *ClusterManager) appsOnNode(id string) []*appState {
+	var out []*appState
+	for _, j := range cm.fw.Running() {
+		found := false
+		_ = cm.fw.VisitJobNodes(j.ID, func(nid string) bool {
+			if nid == id {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			if st := cm.apps[j.ID]; st != nil {
+				out = append(out, st)
+			}
+		}
+	}
+	return out
 }
 
 // onJobFinish settles the application: accounting, SLA penalty, loan

@@ -106,6 +106,55 @@ type VCConfig struct {
 	SlotsPerNode int
 	// Backfill applies to batch VCs.
 	Backfill bool
+
+	// Spot, when non-nil, lets this VC lease preemptible (spot) cloud
+	// capacity: bursts bid BidMultiplier x the current quote, Algorithm
+	// 1 compares against the discounted spot cost estimate, and work
+	// revoked mid-lease is requeued onto replacement capacity.
+	Spot *SpotPolicy
+}
+
+// SpotPolicy is a VC's preemptible-capacity strategy: how aggressively
+// it bids, how it values revocation risk in Algorithm 1's comparison,
+// and when it gives up on the market for an application.
+type SpotPolicy struct {
+	// BidMultiplier scales the current market quote into the per-launch
+	// bid (default 1.25). Higher bids survive larger upward price
+	// swings before revocation; a multiplier of 1 is revoked by the
+	// first uptick.
+	BidMultiplier float64
+	// CostDiscount is the expected-revocation discount applied to the
+	// cloud cost estimate in Algorithm 1's comparison (default 0.85):
+	// the VC values spot capacity below the on-demand quote because the
+	// market is expected to spend most of the lease below it.
+	CostDiscount float64
+	// MaxRevocations is how many cloud-node losses one application
+	// absorbs before its replacement capacity falls back to on-demand
+	// leases (default 2).
+	MaxRevocations int
+}
+
+// withDefaults normalizes a spot policy in place and validates it.
+func (sp *SpotPolicy) withDefaults(vc string) error {
+	if sp.BidMultiplier == 0 {
+		sp.BidMultiplier = 1.25
+	}
+	if sp.BidMultiplier < 0 {
+		return &VCError{Name: vc, Msg: fmt.Sprintf("negative spot bid multiplier %g", sp.BidMultiplier)}
+	}
+	if sp.CostDiscount == 0 {
+		sp.CostDiscount = 0.85
+	}
+	if sp.CostDiscount < 0 || sp.CostDiscount > 1 {
+		return &VCError{Name: vc, Msg: fmt.Sprintf("spot cost discount %g outside (0,1]", sp.CostDiscount)}
+	}
+	if sp.MaxRevocations == 0 {
+		sp.MaxRevocations = 2
+	}
+	if sp.MaxRevocations < 0 {
+		return &VCError{Name: vc, Msg: fmt.Sprintf("negative spot revocation budget %d", sp.MaxRevocations)}
+	}
+	return nil
 }
 
 // Fallback service-framework parameters.
@@ -348,6 +397,11 @@ func (c *Config) fillDefaults() error {
 		}
 		if vc.InitialVMs < 0 {
 			return &VCError{Name: vc.Name, Msg: fmt.Sprintf("negative InitialVMs %d", vc.InitialVMs)}
+		}
+		if vc.Spot != nil {
+			if err := vc.Spot.withDefaults(vc.Name); err != nil {
+				return err
+			}
 		}
 	}
 	if c.MetricsMaxPoints != 0 && c.MetricsMaxPoints < 4 {

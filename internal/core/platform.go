@@ -26,13 +26,18 @@ type Counters struct {
 	Rejections     metrics.Counter
 	Violations     metrics.Counter // SLA violations observed by App Controllers
 	Projected      metrics.Counter // projected (early-warning) violations
-	NodeCrashes    metrics.Counter // private VM crashes observed by CMs
-	Replacements   metrics.Counter // replacement VMs provisioned after crashes
+	NodeCrashes    metrics.Counter // node crashes observed by CMs (private VMs and cloud leases)
+	Replacements   metrics.Counter // replacement private VMs provisioned after private crashes
 
 	// Service elasticity activity.
 	ReplicaScaleOuts metrics.Counter // controller-driven target raises
 	ReplicaScaleIns  metrics.Counter // controller-driven target cuts
 	ReplicaReclaims  metrics.Counter // replicas reclaimed by winning bids
+
+	// Preemptible (spot) capacity activity.
+	SpotLeases      metrics.Counter // spot instances leased
+	SpotRevocations metrics.Counter // attached spot leases revoked by the market
+	SpotFallbacks   metrics.Counter // lease decisions forced from spot to on-demand
 }
 
 // Platform is one assembled Meryn deployment: engine, substrates,
@@ -115,6 +120,19 @@ func (p *Platform) handleCrash(vm *vmm.VM) {
 	}
 }
 
+// handleRevocation routes a revoked spot lease to the Cluster Manager
+// holding it. Leases revoked before they attached (mid-configure) need
+// no routing: the lease completions observe the terminated state.
+func (p *Platform) handleRevocation(inst *cloud.Instance) {
+	for _, name := range p.cmOrder {
+		cm := p.cms[name]
+		if _, ok := cm.nodes[inst.ID]; ok {
+			cm.handleCloudRevocation(inst.ID)
+			return
+		}
+	}
+}
+
 // NewPlatform validates the config, builds every component and performs
 // the initial deployment (VM images registered everywhere, initial VMs
 // started and attached to their frameworks).
@@ -170,6 +188,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		if err != nil {
 			return nil, err
 		}
+		prov.SetOnRevoke(p.handleRevocation)
 		p.Clouds = append(p.Clouds, prov)
 		var names []string
 		for _, it := range cc.Types {
@@ -239,6 +258,7 @@ type Results struct {
 	Counters       Counters
 	CompletionTime float64 // seconds: last application end
 	CloudSpend     float64 // total provider-side cloud charges
+	SpotSpend      float64 // spot-lease share of CloudSpend
 	EventsFired    uint64
 }
 
@@ -301,6 +321,7 @@ func (p *Platform) buildResults() *Results {
 	}
 	for _, prov := range p.Clouds {
 		res.CloudSpend += prov.TotalSpend
+		res.SpotSpend += prov.SpotSpend
 	}
 	return res
 }

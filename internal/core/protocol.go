@@ -92,7 +92,7 @@ func (cm *ClusterManager) decideWithBids(st *appState) {
 	}
 
 	localBid := cm.localBid(n, duration)
-	cloudProvider, cloudType, cloudBid := cm.cheapestCloud(n, duration)
+	cloudProvider, cloudType, cloudBid := cm.cheapestCloud(n, duration, st)
 
 	// Tie-break order mirrors the paper's comparison order: local, then
 	// VC, then cloud.
@@ -178,8 +178,14 @@ func (cm *ClusterManager) suspensionBid(n int, duration sim.Time) Bid {
 }
 
 // cheapestCloud returns the provider/type minimizing the lease cost of n
-// VMs for the duration (Algorithm 1's "cheapest cloud VM price").
-func (cm *ClusterManager) cheapestCloud(n int, duration sim.Time) (*cloud.Provider, string, float64) {
+// VMs for the duration (Algorithm 1's "cheapest cloud VM price") for an
+// application (st nil for VC-level boosts). A VC with a spot policy
+// values the market below the posted quote — the cost estimate carries
+// the policy's expected-revocation discount, extending Algorithm 1's
+// comparison without touching the other bids — but only when the lease
+// would actually be preemptible: the application inside its revocation
+// budget and the provider's prices actually moving.
+func (cm *ClusterManager) cheapestCloud(n int, duration sim.Time, st *appState) (*cloud.Provider, string, float64) {
 	var (
 		bestP    *cloud.Provider
 		bestType string
@@ -197,7 +203,83 @@ func (cm *ClusterManager) cheapestCloud(n int, duration sim.Time) (*cloud.Provid
 			}
 		}
 	}
+	if sp := cm.cfg.Spot; sp != nil && bestP != nil && bestP.MarketPriced(bestType) &&
+		(st == nil || st.revocations < sp.MaxRevocations) {
+		bestCost *= sp.CostDiscount
+	}
 	return bestP, bestType, bestCost
+}
+
+// spotAllowed decides whether a lease decision may go to the spot
+// market. An application that has exhausted its VC's revocation budget
+// counts one forced fallback — once, however many lease decisions and
+// retries it needs on on-demand capacity afterwards.
+func (cm *ClusterManager) spotAllowed(st *appState) bool {
+	sp := cm.cfg.Spot
+	if sp == nil {
+		return false
+	}
+	if st != nil && st.revocations >= sp.MaxRevocations {
+		if !st.fellBack {
+			st.fellBack = true
+			cm.p.Counters.SpotFallbacks.Inc()
+		}
+		return false
+	}
+	return true
+}
+
+// leaseVia is the shared cloud acquisition ladder: a spot attempt at
+// BidMultiplier x the current quote when allowed, an on-demand retry on
+// the same provider after a failed spot request, failover across the
+// remaining providers, and finally exhausted(). Successful leases are
+// handed to attached() after the configure latency with mid-configure
+// revocations filtered out (their charges settled provider-side) and
+// reported as the lost count.
+func (cm *ClusterManager) leaseVia(p *cloud.Provider, typeName string, n int, duration sim.Time, spotOK bool,
+	attached func(p *cloud.Provider, live []*cloud.Instance, lost int), exhausted func()) {
+	spot, bid := false, 0.0
+	if spotOK {
+		if q, err := p.Quote(typeName); err == nil {
+			spot, bid = true, q*cm.cfg.Spot.BidMultiplier
+		}
+	}
+	done := func(insts []*cloud.Instance, err error) {
+		if err != nil {
+			cm.p.Counters.CloudFailures.Inc()
+			if spot {
+				// Outbid or flaky spot request: fall back to an
+				// on-demand lease from the same provider.
+				cm.p.Counters.SpotFallbacks.Inc()
+				cm.leaseVia(p, typeName, n, duration, false, attached, exhausted)
+				return
+			}
+			if next, nextType := cm.nextProvider(p, n, duration); next != nil {
+				cm.leaseVia(next, nextType, n, duration, spotOK, attached, exhausted)
+				return
+			}
+			exhausted()
+			return
+		}
+		cm.p.Counters.CloudLeases.AddN(int64(n))
+		if spot {
+			cm.p.Counters.SpotLeases.AddN(int64(n))
+		}
+		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.CloudConfigure), func() {
+			live := insts[:0]
+			for _, inst := range insts {
+				if inst.State == cloud.InstanceRunning {
+					live = append(live, inst)
+				}
+			}
+			attached(p, live, n-len(live))
+		})
+	}
+	if spot {
+		cm.p.RM.LeaseSpot(p, typeName, cm.Image(), bid, n, done)
+	} else {
+		cm.p.RM.Lease(p, typeName, cm.Image(), n, done)
+	}
 }
 
 // yieldLocalAndRun implements option 3: make a local victim yield
@@ -343,7 +425,7 @@ func (cm *ClusterManager) receiveTransferredVMs(st *appState, n int, ln *loan) {
 // burstToCloud leases from the cheapest provider (option 5 / the static
 // baseline's only elasticity).
 func (cm *ClusterManager) burstToCloud(st *appState) {
-	p, typeName, _ := cm.cheapestCloud(st.contract.NumVMs, st.contract.ExecEst)
+	p, typeName, _ := cm.cheapestCloud(st.contract.NumVMs, st.contract.ExecEst, st)
 	if p == nil {
 		cm.pending = append(cm.pending, st)
 		return
@@ -351,29 +433,79 @@ func (cm *ClusterManager) burstToCloud(st *appState) {
 	cm.burstToCloudVia(st, p, typeName)
 }
 
-// burstToCloudVia leases n instances from a specific provider, with
-// fallback to the remaining providers on failure (paper §3.5).
+// burstToCloudVia leases n instances from a specific provider — spot
+// when the VC's policy says so — with fallback to on-demand on a failed
+// spot request, then to the remaining providers (paper §3.5).
 func (cm *ClusterManager) burstToCloudVia(st *appState, p *cloud.Provider, typeName string) {
 	n := st.contract.NumVMs
-	cm.p.RM.Lease(p, typeName, cm.Image(), n, func(insts []*cloud.Instance, err error) {
-		if err != nil {
-			cm.p.Counters.CloudFailures.Inc()
-			if next, nextType := cm.nextProvider(p, n, st.contract.ExecEst); next != nil {
-				cm.burstToCloudVia(st, next, nextType)
-				return
-			}
-			// All providers failed; retry the whole protocol shortly.
-			cm.p.Eng.Schedule(sim.Seconds(5), func() { cm.selectResources(st) })
-			return
-		}
-		cm.p.Counters.CloudLeases.AddN(int64(n))
-		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.CloudConfigure), func() {
-			for _, inst := range insts {
+	cm.leaseVia(p, typeName, n, st.contract.ExecEst, cm.spotAllowed(st),
+		func(p *cloud.Provider, live []*cloud.Instance, lost int) {
+			for _, inst := range live {
 				cm.attachCloud(inst, p)
 			}
+			if lost > 0 {
+				// Some leases vanished before joining the framework;
+				// their settled charges count against the application's
+				// revocation budget (or thin bids could bypass the
+				// on-demand fallback forever), the survivors stay as
+				// uncommitted capacity and the application re-runs the
+				// selection protocol.
+				st.revocations += lost
+				st.rec.Revocations += lost
+				cm.selectResources(st)
+				return
+			}
 			cm.commit(st, metrics.PlacementCloud)
+		},
+		func() {
+			// All providers failed; retry the whole protocol shortly.
+			cm.p.Eng.Schedule(sim.Seconds(5), func() { cm.selectResources(st) })
 		})
-	})
+}
+
+// leaseReplacement re-leases one cloud instance for an application that
+// lost a node to a revocation or crash: the selection re-runs against
+// current quotes, spot again while the application is inside its VC's
+// revocation budget, on-demand past it. A failed replacement tries the
+// remaining providers, then retries after a pause.
+func (cm *ClusterManager) leaseReplacement(st *appState) {
+	p, typeName, _ := cm.cheapestCloud(1, st.contract.ExecEst, st)
+	if p == nil {
+		return
+	}
+	cm.leaseVia(p, typeName, 1, st.contract.ExecEst, cm.spotAllowed(st),
+		func(p *cloud.Provider, live []*cloud.Instance, lost int) {
+			// If any job is still running or queued, attach: the work
+			// that lost the node (not necessarily st — a shared
+			// mapreduce node hosts several jobs) can use the capacity,
+			// and any future finish garbage-collects it if idle. Only
+			// a fully drained framework would strand the lease.
+			drained := len(cm.fw.Running()) == 0 && len(cm.fw.QueuedJobs()) == 0
+			for _, inst := range live {
+				if drained {
+					cm.p.RM.Release(p, inst.ID)
+					continue
+				}
+				cm.attachCloud(inst, p)
+			}
+			// Leases revoked before they ever attached still count
+			// against the revocation budget — they settled real
+			// charges, and without this the thin-bid retry loop would
+			// never reach the on-demand fallback. Re-lease for them
+			// only while there is work left to host.
+			st.revocations += lost
+			st.rec.Revocations += lost
+			if !drained {
+				for i := 0; i < lost; i++ {
+					cm.leaseReplacement(st)
+				}
+			}
+			cm.tryResumeVictims()
+			cm.retryPending()
+		},
+		func() {
+			cm.p.Eng.Schedule(sim.Seconds(5), func() { cm.leaseReplacement(st) })
+		})
 }
 
 // nextProvider returns the cheapest provider other than the one that

@@ -97,10 +97,26 @@ func (rm *ResourceManager) StartPrivate(image string, n int, done func([]*vmm.VM
 	}
 }
 
-// Lease acquires n instances of typeName from the provider in parallel.
-// On any failure it terminates the successful leases and reports the
-// first error.
+// Lease acquires n on-demand instances of typeName from the provider in
+// parallel. On any failure it terminates the successful leases and
+// reports the first error.
 func (rm *ResourceManager) Lease(p *cloud.Provider, typeName, image string, n int, done func([]*cloud.Instance, error)) {
+	rm.lease(p, n, done, func(cb func(*cloud.Instance, error)) {
+		p.Launch(typeName, image, cb)
+	})
+}
+
+// LeaseSpot acquires n preemptible instances at the given bid (units
+// per VM-second), with the same all-or-nothing semantics as Lease: a
+// request outbid at launch fails the batch and the successes are
+// terminated.
+func (rm *ResourceManager) LeaseSpot(p *cloud.Provider, typeName, image string, bid float64, n int, done func([]*cloud.Instance, error)) {
+	rm.lease(p, n, done, func(cb func(*cloud.Instance, error)) {
+		p.LaunchSpot(typeName, image, bid, cb)
+	})
+}
+
+func (rm *ResourceManager) lease(p *cloud.Provider, n int, done func([]*cloud.Instance, error), launch func(func(*cloud.Instance, error))) {
 	if n <= 0 {
 		done(nil, nil)
 		return
@@ -121,7 +137,7 @@ func (rm *ResourceManager) Lease(p *cloud.Provider, typeName, image string, n in
 		done(leases, nil)
 	}
 	for i := 0; i < n; i++ {
-		p.Launch(typeName, image, func(inst *cloud.Instance, err error) {
+		launch(func(inst *cloud.Instance, err error) {
 			if err != nil && failed == nil {
 				failed = err
 			}

@@ -135,6 +135,7 @@ type PlatformMetrics struct {
 	PrivateUsed int
 	CloudUsed   int
 	CloudSpend  float64
+	SpotSpend   float64 // spot-lease share of CloudSpend
 	EventsFired uint64
 	Submitted   int
 	Settled     int
@@ -392,6 +393,7 @@ func (s *Session) Metrics() PlatformMetrics {
 	}
 	for _, prov := range s.p.Clouds {
 		m.CloudSpend += prov.TotalSpend
+		m.SpotSpend += prov.SpotSpend
 	}
 	return m
 }

@@ -93,6 +93,11 @@ func All() []Experiment {
 			m.BaseSeed = seed
 			return m.Services(opt)
 		}},
+		{Name: "spot", Artifact: "Extension: preemptible (spot) cloud capacity (policy x volatility x bid)", Run: func(seed int64, opt Options) (Renderable, error) {
+			m := DefaultSpotMatrix()
+			m.BaseSeed = seed
+			return m.Spot(opt)
+		}},
 		{Name: "sweep", Artifact: "Parallel matrix sweep (policy x load, mean ±CI)", Run: func(seed int64, opt Options) (Renderable, error) {
 			m := DefaultMatrix()
 			m.BaseSeed = seed

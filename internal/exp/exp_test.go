@@ -290,11 +290,14 @@ func TestAblationRealisticMerynWins(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
+	if len(all) != 12 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	if _, ok := Find("fig5"); !ok {
 		t.Fatal("fig5 not found")
+	}
+	if _, ok := Find("spot"); !ok {
+		t.Fatal("spot not found")
 	}
 	if _, ok := Find("nope"); ok {
 		t.Fatal("found nonexistent experiment")

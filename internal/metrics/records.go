@@ -57,6 +57,10 @@ type AppRecord struct {
 	SLOIntervals int     // evaluated SLO intervals
 	SLOBurned    int     // intervals that burned (p95 over target, or downtime)
 	PeakReplicas int     // widest the service scaled
+
+	// Revocations counts cloud nodes this application lost mid-run to
+	// spot-market preemption or cloud VM crashes.
+	Revocations int
 }
 
 // ExecTime is the measured execution duration.
@@ -198,6 +202,10 @@ type Aggregate struct {
 	SLOIntervals  int
 	SLOBurned     int
 	SLOAttainment float64 // clean-interval fraction; 1 when no SLO apps
+
+	// Revocations sums cloud-node losses (spot preemptions and cloud
+	// crashes) across the record set.
+	Revocations int
 }
 
 // Aggregate computes summary statistics over a record slice.
@@ -231,6 +239,7 @@ func AggregateRecords(recs []*AppRecord) Aggregate {
 			agg.SLOIntervals += r.SLOIntervals
 			agg.SLOBurned += r.SLOBurned
 		}
+		agg.Revocations += r.Revocations
 	}
 	n := float64(len(recs))
 	agg.MeanExecTime /= n

@@ -112,6 +112,44 @@ func BreakdownByType(recs []*metrics.AppRecord) *Table {
 	return t
 }
 
+// CloudProviderStats is one provider row of CloudBreakdown: the
+// per-provider economics of a run's cloud bursting, including the
+// preemptible share.
+type CloudProviderStats struct {
+	Name        string
+	Launches    int64   // instances that reached running
+	Revocations int64   // spot leases the market preempted
+	Spend       float64 // total charges, units
+	SpotSpend   float64 // spot-lease share of Spend
+}
+
+// CloudBreakdown condenses per-provider cloud economics — launches,
+// total spend, the spot share of it and market revocations — so spot
+// versus on-demand exposure is legible per provider.
+func CloudBreakdown(rows []CloudProviderStats) *Table {
+	t := &Table{
+		Title:   "Per-provider cloud breakdown",
+		Headers: []string{"provider", "launches", "spend [u]", "spot [u]", "revocations"},
+	}
+	var launches, revs int64
+	var spend, spot float64
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%d", r.Launches),
+			fmt.Sprintf("%.0f", r.Spend), fmt.Sprintf("%.0f", r.SpotSpend),
+			fmt.Sprintf("%d", r.Revocations))
+		launches += r.Launches
+		revs += r.Revocations
+		spend += r.Spend
+		spot += r.SpotSpend
+	}
+	if len(rows) > 1 {
+		t.AddRow("total", fmt.Sprintf("%d", launches),
+			fmt.Sprintf("%.0f", spend), fmt.Sprintf("%.0f", spot),
+			fmt.Sprintf("%d", revs))
+	}
+	return t
+}
+
 // Chart renders step series as an ASCII line chart (the shape of the
 // paper's Figure 5).
 type Chart struct {

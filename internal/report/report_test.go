@@ -120,3 +120,26 @@ func TestSeriesCSVEmpty(t *testing.T) {
 		t.Fatal("expected no output for no series")
 	}
 }
+
+func TestCloudBreakdown(t *testing.T) {
+	tbl := CloudBreakdown([]CloudProviderStats{
+		{Name: "ec2", Launches: 12, Revocations: 3, Spend: 5000, SpotSpend: 2100},
+		{Name: "gce", Launches: 2, Revocations: 0, Spend: 800, SpotSpend: 0},
+	})
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ec2", "gce", "total", "2100", "5800", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// A single provider needs no total row.
+	var b1 strings.Builder
+	_ = CloudBreakdown([]CloudProviderStats{{Name: "only", Launches: 1}}).Render(&b1)
+	if strings.Contains(b1.String(), "total") {
+		t.Fatal("single-provider breakdown must not add a total row")
+	}
+}

@@ -259,6 +259,65 @@ func Merge(streams ...Workload) Workload {
 	return out
 }
 
+// WaveConfig drives Waves: batches of near-simultaneous arrivals that
+// overflow a small private pool all at once — the cloud-bursting
+// stressor behind the spot experiment. Each wave's applications land
+// within Jitter of the wave instant, so the selection protocol faces
+// the whole burst before any of it completes.
+type WaveConfig struct {
+	Waves   int    // arrival waves (default 4)
+	PerWave int    // applications per wave (default 6)
+	VC      string // target VC (default "vc1")
+	Seed    int64
+
+	Gap    sim.Time   // wave spacing (default 600 s)
+	Jitter stats.Dist // per-app offset within a wave, seconds (default Uniform 0-5)
+	Work   stats.Dist // reference seconds per app (default Normal 2400±600, min 300)
+	VMs    stats.Dist // VMs per app (default 2)
+}
+
+// Waves produces synchronized batch arrival waves from the config.
+func Waves(cfg WaveConfig) Workload {
+	if cfg.Waves <= 0 {
+		cfg.Waves = 4
+	}
+	if cfg.PerWave <= 0 {
+		cfg.PerWave = 6
+	}
+	if cfg.VC == "" {
+		cfg.VC = "vc1"
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = sim.Seconds(600)
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = stats.Uniform{Lo: 0, Hi: 5}
+	}
+	if cfg.Work == nil {
+		cfg.Work = stats.Normal{Mu: 2400, Sigma: 600, Min: 300}
+	}
+	if cfg.VMs == nil {
+		cfg.VMs = stats.Constant{V: 2}
+	}
+	rng := sim.NewRNG(cfg.Seed, "workload/waves/"+cfg.VC)
+	var w Workload
+	for wave := 0; wave < cfg.Waves; wave++ {
+		at := sim.Time(wave) * cfg.Gap
+		for i := 0; i < cfg.PerWave; i++ {
+			w = append(w, App{
+				ID:       fmt.Sprintf("%s-w%02d-%02d", cfg.VC, wave, i),
+				Type:     TypeBatch,
+				VC:       cfg.VC,
+				SubmitAt: at + sim.Seconds(positive(cfg.Jitter.Sample(rng))),
+				VMs:      atLeast1(cfg.VMs.Sample(rng)),
+				Work:     positive(cfg.Work.Sample(rng)),
+			})
+		}
+	}
+	w.Sort()
+	return w
+}
+
 func atLeast1(v float64) int {
 	n := int(v + 0.5)
 	if n < 1 {

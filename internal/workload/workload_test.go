@@ -247,3 +247,32 @@ func TestDiurnalDefaults(t *testing.T) {
 		t.Fatal("day factor must be 1")
 	}
 }
+
+func TestWavesGenerator(t *testing.T) {
+	w := Waves(WaveConfig{Waves: 3, PerWave: 4, VC: "vc1", Seed: 9})
+	if len(w) != 12 {
+		t.Fatalf("apps = %d, want 12", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i].SubmitAt < w[i-1].SubmitAt {
+			t.Fatal("wave workload not time-ordered")
+		}
+	}
+	// Each wave lands within its jitter window of the wave instant.
+	for _, app := range w {
+		if app.VMs < 1 || app.Work <= 0 || app.Type != TypeBatch {
+			t.Fatalf("malformed app %+v", app)
+		}
+	}
+	gap := sim.ToSeconds(w[4].SubmitAt - w[0].SubmitAt)
+	if gap < 590 || gap > 610 {
+		t.Fatalf("wave spacing = %v s, want ~600", gap)
+	}
+	// Determinism: same seed, same workload.
+	w2 := Waves(WaveConfig{Waves: 3, PerWave: 4, VC: "vc1", Seed: 9})
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("Waves not deterministic for a fixed seed")
+		}
+	}
+}

@@ -38,6 +38,8 @@ type (
 	Config = core.Config
 	// VCConfig describes one virtual cluster.
 	VCConfig = core.VCConfig
+	// SpotPolicy opts a VC into preemptible (spot) cloud leasing.
+	SpotPolicy = core.SpotPolicy
 	// Latencies configures the Meryn pipeline latencies.
 	Latencies = core.Latencies
 	// Policy selects Meryn bidding or static partitioning.
