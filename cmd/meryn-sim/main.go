@@ -13,6 +13,7 @@
 //	meryn-sim -trace workload.csv       # replay a trace file
 //	meryn-sim -csv usage.csv            # dump usage series for plotting
 //	meryn-sim -services -svc-burst 2.5  # elastic latency-SLO services demo
+//	meryn-sim -chaos                    # heavy fault campaign under the auditor
 //	meryn-sim -sweep default            # stock policy x load sweep
 //	meryn-sim -sweep "ia=4,5,7 reps=10" -workers 8 -json sweep.json
 //
@@ -30,6 +31,7 @@ import (
 	"os"
 
 	"meryn"
+	"meryn/internal/chaos"
 	"meryn/internal/exp"
 	"meryn/internal/metrics"
 	"meryn/internal/report"
@@ -63,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		svcLoad   = fs.Float64("svc-load", 1, "services demo: offered-load multiplier")
 		svcBurst  = fs.Float64("svc-burst", 2.5, "services demo: burst amplitude (1 = no bursts)")
 		svcPolicy = fs.String("svc-policy", "scaleout", "services demo: replica policy (noop or scaleout)")
+		chaosDemo = fs.Bool("chaos", false, "run a fault campaign under the invariant auditor instead of the batch workload")
+		chaosInt  = fs.String("chaos-intensity", "heavy", "chaos demo: campaign intensity (off, light or heavy)")
+		chaosPol  = fs.String("chaos-policy", "spot", "chaos demo: cloud lease policy (ondemand or spot)")
 		listExps  = fs.Bool("list", false, "list registered experiments and sweep axes, then exit")
 		sweepSpec = fs.String("sweep", "", `run a scenario matrix instead of one run: "default" or e.g. "policy=meryn,static ia=4,5 load=50 reps=5"`)
 		workers   = fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
@@ -95,8 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	sweepOnly := []string{"workers", "reps", "json"}
-	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy", "services", "svc-load", "svc-burst", "svc-policy"}
+	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy", "services", "svc-load", "svc-burst", "svc-policy", "chaos", "chaos-intensity", "chaos-policy"}
 	servicesOnly := []string{"svc-load", "svc-burst", "svc-policy"}
+	chaosOnly := []string{"chaos-intensity", "chaos-policy"}
 	if *sweepSpec == "" {
 		for _, name := range sweepOnly {
 			if set[name] {
@@ -109,6 +115,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return fail(fmt.Errorf("-%s only applies with -services", name))
 				}
 			}
+		}
+		if !*chaosDemo {
+			for _, name := range chaosOnly {
+				if set[name] {
+					return fail(fmt.Errorf("-%s only applies with -chaos", name))
+				}
+			}
+		}
+		if *services && *chaosDemo {
+			return fail(errors.New("-services and -chaos select different demo scenarios; pick one"))
 		}
 	} else {
 		for _, name := range singleOnly {
@@ -129,6 +145,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if err := runServicesDemo(stdout, *seed, *svcPolicy, *svcLoad, *svcBurst, *chart, *csvOut); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *chaosDemo {
+		for _, name := range []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "hierarchy"} {
+			if set[name] {
+				return fail(fmt.Errorf("-%s does not apply with -chaos (use -chaos-intensity/-chaos-policy)", name))
+			}
+		}
+		if err := runChaosDemo(stdout, *seed, *chaosInt, *chaosPol, *chart, *csvOut); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -239,6 +267,11 @@ func printCatalog(out io.Writer) {
 	fmt.Fprintf(out, "  policy replica policies             (default %v)\n", m.Policies)
 	fmt.Fprintf(out, "  burst  burst amplitude factors      (default %v)\n", m.Bursts)
 	fmt.Fprintf(out, "  reps   seed replications per cell   (default %d)\n", m.Reps)
+	cm := exp.DefaultChaosMatrix()
+	fmt.Fprintln(out, "\nChaos grid axes (meryn-bench -exp chaos; single run: meryn-sim -chaos):")
+	fmt.Fprintf(out, "  intensity campaign intensity          (default %v)\n", cm.Intensities)
+	fmt.Fprintf(out, "  policy    cloud lease policy          (default %v)\n", cm.Policies)
+	fmt.Fprintf(out, "  reps      seed replications per cell  (default %d)\n", cm.Reps)
 }
 
 // runServicesDemo executes one cell of the services scenario and prints
@@ -264,6 +297,60 @@ func runServicesDemo(out io.Writer, seed int64, policy string, load, burst float
 	if chart {
 		c := report.Chart{
 			Title:  "Used VMs over time (services demo)",
+			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
+			YLabel: "used VMs",
+		}
+		fmt.Fprintln(out)
+		if err := c.Render(out); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := writeCSV(csvOut, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nusage series written to %s\n", csvOut)
+	}
+	return nil
+}
+
+// runChaosDemo runs one chaos campaign cell — the spot-style bursting
+// scenario with a fault plan armed and the auditor at a 10 s cadence —
+// and prints the run summary plus the fired-fault tallies. Reaching the
+// tallies at all means every audit barrier passed (violations panic).
+func runChaosDemo(out io.Writer, seed int64, intensity, policy string, chart bool, csvOut string) error {
+	switch intensity {
+	case exp.ChaosOff, exp.ChaosLight, exp.ChaosHeavy:
+	default:
+		return fmt.Errorf("unknown chaos intensity %q (want off, light or heavy)", intensity)
+	}
+	if policy != exp.SpotPolicyOnDemand && policy != exp.SpotPolicySpot {
+		return fmt.Errorf("unknown chaos lease policy %q (want ondemand or spot)", policy)
+	}
+	var inj *chaos.Injector
+	s := exp.ChaosScenario(exp.ChaosScenarioConfig{
+		Seed: seed, Policy: policy, Intensity: intensity,
+		Observe: func(i *chaos.Injector) { inj = i },
+	})
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chaos demo: intensity=%s policy=%s seed=%d\n\n", intensity, policy, seed)
+	if err := printSummary(out, res); err != nil {
+		return err
+	}
+	if inj == nil {
+		fmt.Fprintln(out, "campaign: none (intensity off — auditor-only baseline)")
+	} else {
+		fmt.Fprintf(out, "campaign: %d planned events; fired: crashes=%d outages=%d storms=%d revocations=%d shocks=%d skipped=%d\n",
+			len(inj.Plan().Events), inj.Crashes, inj.Outages, inj.Storms,
+			inj.Revocations, inj.Shocks, inj.Skipped)
+	}
+	fmt.Fprintf(out, "audit: %d invariant checks passed (violations would have panicked the run)\n", res.AuditChecks)
+	if chart {
+		c := report.Chart{
+			Title:  "Used VMs over time (chaos demo)",
 			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
 			YLabel: "used VMs",
 		}

@@ -1,0 +1,55 @@
+package api_test
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"meryn/internal/api"
+)
+
+// FuzzAppJSONRoundTrip decodes arbitrary JSON into the App submission
+// DTO and, when it converts to a valid internal template, checks that
+// the wire round trip is lossless: ToWorkload -> FromWorkload ->
+// ToWorkload must reproduce the internal template exactly. Inputs with
+// virtual times beyond the simulation scale are skipped — the
+// seconds<->sim.Time conversion is only exact there.
+func FuzzAppJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"type":"batch","vms":2,"work_s":1550}`))
+	f.Add([]byte(`{"type":"mapreduce","map_tasks":8,"reduce_tasks":2,"map_work_s":60,"reduce_work_s":120}`))
+	f.Add([]byte(`{"type":"service","replicas":3,"svc_rate":10,"duration_s":3600,"load":{"base":25,"bursts":[{"at_s":600,"duration_s":300,"factor":2.5}]}}`))
+	f.Add([]byte(`{"type":"batch","submit_at_s":-1,"work_s":1e300}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a api.App
+		if err := json.Unmarshal(data, &a); err != nil {
+			return // not an App document; nothing to round-trip
+		}
+		// Virtual times round-trip exactly only at simulation scale;
+		// astronomical or non-finite inputs are out of the wire contract.
+		sane := func(v float64) bool { return !math.IsNaN(v) && math.Abs(v) < 1e7 }
+		times := []float64{a.SubmitAtS, a.DurationS}
+		if a.Load != nil {
+			for _, b := range a.Load.Bursts {
+				times = append(times, b.AtS, b.DurationS)
+			}
+		}
+		for _, v := range times {
+			if !sane(v) {
+				return
+			}
+		}
+		w1, err := a.ToWorkload()
+		if err != nil {
+			return // invalid submission; rejection is the contract
+		}
+		w2, err := api.FromWorkload(w1).ToWorkload()
+		if err != nil {
+			t.Fatalf("re-encoding a valid submission failed: %v\n input: %s", err, data)
+		}
+		if !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("wire round trip diverged:\n first: %+v\nsecond: %+v\n input: %s", w1, w2, data)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package chaos_test
+
+import (
+	"reflect"
+	"testing"
+
+	"meryn/internal/chaos"
+	"meryn/internal/cloud"
+	"meryn/internal/core"
+	"meryn/internal/sim"
+	"meryn/internal/stats"
+	"meryn/internal/workload"
+)
+
+// TestCampaignDeterminism: equal configs build equal plans, different
+// seeds build different schedules, and every event lands sorted inside
+// the campaign window.
+func TestCampaignDeterminism(t *testing.T) {
+	cfg := chaos.CampaignConfig{
+		Seed: 7, Bursts: 3, Outages: 2, Storms: 2, Shocks: 2,
+	}
+	p1, p2 := chaos.Campaign(cfg), chaos.Campaign(cfg)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("same config, different plans:\n%+v\n%+v", p1, p2)
+	}
+	if len(p1.Events) != 9 {
+		t.Fatalf("events = %d, want 9", len(p1.Events))
+	}
+	cfg.Seed = 8
+	p3 := chaos.Campaign(cfg)
+	if reflect.DeepEqual(p1.Events, p3.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	lo, hi := sim.Seconds(120), sim.Seconds(120)+sim.Seconds(2400)
+	var prev sim.Time
+	for i, ev := range p1.Events {
+		if ev.At < lo || ev.At >= hi {
+			t.Fatalf("event %d at %s outside window [%s, %s)", i, ev.At, lo, hi)
+		}
+		if ev.At < prev {
+			t.Fatalf("event %d at %s before predecessor at %s", i, ev.At, prev)
+		}
+		prev = ev.At
+	}
+}
+
+// TestPresets: the Light and Heavy presets produce the documented
+// event mix with defaults filled in.
+func TestPresets(t *testing.T) {
+	count := func(p chaos.Plan) map[chaos.Kind]int {
+		m := make(map[chaos.Kind]int)
+		for _, ev := range p.Events {
+			m[ev.Kind]++
+		}
+		return m
+	}
+	l := count(chaos.Light(1))
+	if l[chaos.KindCrashBurst] != 2 || l[chaos.KindSiteOutage] != 0 ||
+		l[chaos.KindRevocationStorm] != 1 || l[chaos.KindPriceShock] != 1 {
+		t.Fatalf("light mix = %v", l)
+	}
+	h := count(chaos.Heavy(1))
+	if h[chaos.KindCrashBurst] != 4 || h[chaos.KindSiteOutage] != 2 ||
+		h[chaos.KindRevocationStorm] != 2 || h[chaos.KindPriceShock] != 2 {
+		t.Fatalf("heavy mix = %v", h)
+	}
+	for _, k := range []chaos.Kind{
+		chaos.KindCrashBurst, chaos.KindSiteOutage,
+		chaos.KindRevocationStorm, chaos.KindPriceShock, chaos.Kind(99),
+	} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}
+
+// chaosPlatform builds a spot-bursting platform with a market-priced
+// cloud and the auditor at a tight cadence; violations panic (the
+// default), so a completed run is itself the audit pass.
+func chaosPlatform(t *testing.T, seed int64) *core.Platform {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.VCs = []core.VCConfig{{
+		Name: "vc1", Type: workload.TypeBatch, InitialVMs: 8,
+		Spot: &core.SpotPolicy{BidMultiplier: 1.25},
+	}}
+	cfg.Clouds[0].Market = &cloud.MarketConfig{
+		Volatility: 0.15, Reversion: 0.25, Floor: 0.5, Tick: sim.Seconds(30),
+	}
+	cfg.Audit = &core.AuditConfig{Every: sim.Seconds(10)}
+	p, err := core.NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func chaosWorkload(seed int64) workload.Workload {
+	return workload.Waves(workload.WaveConfig{
+		Waves: 3, PerWave: 5, VC: "vc1", Seed: seed,
+		Gap:  sim.Seconds(900),
+		Work: stats.Normal{Mu: 2400, Sigma: 600, Min: 300},
+		VMs:  stats.Constant{V: 2},
+	})
+}
+
+// TestInjectorFullCampaign fires every fault kind at fixed times into
+// a loaded platform and checks the tallies: the run completing at all
+// means the full invariant catalogue held at every 10 s barrier
+// through crashes, a correlated outage, a revocation storm and a price
+// shock.
+func TestInjectorFullCampaign(t *testing.T) {
+	const seed = 3
+	p := chaosPlatform(t, seed)
+	plan := chaos.Plan{Seed: seed, Events: []chaos.Event{
+		{At: sim.Seconds(300), Kind: chaos.KindCrashBurst, K: 2},
+		{At: sim.Seconds(600), Kind: chaos.KindSiteOutage, K: 1},
+		{At: sim.Seconds(1000), Kind: chaos.KindRevocationStorm, K: 0},
+		{At: sim.Seconds(1400), Kind: chaos.KindPriceShock, Factor: 4},
+		{At: sim.Seconds(1800), Kind: chaos.KindCrashBurst, K: 2},
+	}}
+	inj := chaos.New(p, plan)
+	inj.Arm()
+	if got := inj.Plan(); !reflect.DeepEqual(got, plan) {
+		t.Fatalf("armed plan diverged: %+v", got)
+	}
+	res, err := p.Run(chaosWorkload(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Crashes == 0 {
+		t.Fatal("no VM ever crashed")
+	}
+	if inj.Outages == 0 && inj.Skipped == 0 {
+		t.Fatal("site outage neither hit nor skipped")
+	}
+	if inj.Shocks != 1 {
+		t.Fatalf("shocks fired = %d, want 1", inj.Shocks)
+	}
+	fired := inj.Outages + inj.Storms + inj.Shocks
+	if inj.Crashes > 0 {
+		fired++ // at least one burst hit
+	}
+	if fired+inj.Skipped < len(plan.Events)-1 {
+		t.Fatalf("events unaccounted for: fired>=%d skipped=%d of %d", fired, inj.Skipped, len(plan.Events))
+	}
+	if res.AuditChecks == 0 {
+		t.Fatal("auditor never ran during the campaign")
+	}
+	if int64(inj.Crashes) > p.VMM.Crashes.Count {
+		t.Fatalf("injector counted %d crashes, VMM only %d", inj.Crashes, p.VMM.Crashes.Count)
+	}
+	for _, rec := range res.Ledger.All() {
+		if rec.EndTime == 0 {
+			t.Fatalf("app %s never settled after the campaign", rec.ID)
+		}
+	}
+}
+
+// TestInjectorDeterminism: two identical platforms under the same plan
+// produce identical tallies and identical results.
+func TestInjectorDeterminism(t *testing.T) {
+	runOnce := func() (*chaos.Injector, *core.Results) {
+		p := chaosPlatform(t, 11)
+		inj := chaos.New(p, chaos.Heavy(11))
+		inj.Arm()
+		res, err := p.Run(chaosWorkload(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj, res
+	}
+	i1, r1 := runOnce()
+	i2, r2 := runOnce()
+	if !reflect.DeepEqual(tally(i1), tally(i2)) {
+		t.Fatalf("tallies diverged: %v vs %v", tally(i1), tally(i2))
+	}
+	if r1.CompletionTime != r2.CompletionTime || r1.CloudSpend != r2.CloudSpend ||
+		r1.AuditChecks != r2.AuditChecks {
+		t.Fatalf("results diverged: completion %g/%g spend %g/%g audits %d/%d",
+			r1.CompletionTime, r2.CompletionTime, r1.CloudSpend, r2.CloudSpend,
+			r1.AuditChecks, r2.AuditChecks)
+	}
+}
+
+func tally(in *chaos.Injector) [6]int {
+	return [6]int{in.Crashes, in.Outages, in.Storms, in.Revocations, in.Shocks, in.Skipped}
+}
+
+// TestInjectorSkipsEmptyPlatform: faults against a platform with no
+// targets are tallied as skipped, not silently dropped — and the
+// auditor stays clean.
+func TestInjectorSkipsEmptyPlatform(t *testing.T) {
+	p := chaosPlatform(t, 5)
+	// An idle platform has private VMs (initial deployment) but no spot
+	// leases, so a storm finds nothing to revoke.
+	inj := chaos.New(p, chaos.Plan{Seed: 5, Events: []chaos.Event{
+		{At: sim.Seconds(10), Kind: chaos.KindRevocationStorm, K: 0},
+	}})
+	inj.Arm()
+	if _, err := p.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Storms != 0 || inj.Revocations != 0 {
+		t.Fatalf("storm on an idle platform revoked %d leases", inj.Revocations)
+	}
+	if inj.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", inj.Skipped)
+	}
+}

@@ -469,6 +469,16 @@ func (p *Provider) ensureSpotWatch() {
 func (p *Provider) spotWatchTick() {
 	p.watchOn = false
 	p.advanceMarkets()
+	p.RevokeOutbid()
+	p.ensureSpotWatch()
+}
+
+// RevokeOutbid revokes every running spot lease whose bid the current
+// market price exceeds, in launch order, and returns how many it
+// revoked. The market watch calls this on its own tick; chaos injection
+// calls it right after ShockPrices so a price shock's revocations land
+// at the shock instant rather than on the next watch tick.
+func (p *Provider) RevokeOutbid() int {
 	// Collect first: revocation callbacks re-enter the provider
 	// (replacement launches) and mutate spotRun.
 	var revoked []*Instance
@@ -480,7 +490,89 @@ func (p *Provider) spotWatchTick() {
 	for _, inst := range revoked {
 		p.revoke(inst)
 	}
-	p.ensureSpotWatch()
+	return len(revoked)
+}
+
+// ShockPrices multiplies every market price by factor — an
+// instantaneous repricing of the provider's whole spot market (chaos
+// injection). Fixed-price providers are unaffected. Markets are first
+// advanced to the present so the shock applies on top of the current
+// price; shocked prices mean-revert toward base on subsequent ticks,
+// and the per-type floors still apply. Callers that want the shock's
+// revocations to fire immediately follow up with RevokeOutbid.
+func (p *Provider) ShockPrices(factor float64) {
+	if p.cfg.Market == nil {
+		return
+	}
+	p.advanceMarkets()
+	for _, name := range p.typeNames() {
+		p.markets[name].Shock(factor)
+	}
+}
+
+// Lease returns a tracked (pending or running) lease by ID. Settled
+// leases are pruned and report false.
+func (p *Provider) Lease(id string) (*Instance, bool) {
+	inst, ok := p.leases[id]
+	return inst, ok
+}
+
+// RunningSpotIDs returns the IDs of running spot leases in launch order
+// (the order the market watch considers them) — the target set for
+// chaos revocation storms.
+func (p *Provider) RunningSpotIDs() []string {
+	ids := make([]string, 0, len(p.spotRun))
+	for _, inst := range p.spotRun {
+		ids = append(ids, inst.ID)
+	}
+	return ids
+}
+
+// Audit checks the provider's internal conservation invariants: the
+// active count, used gauge, quota, lease-table states, the running-spot
+// order, and spend aggregates must agree. It returns the first
+// violation found, or nil. The platform Auditor calls this at every
+// audit barrier.
+func (p *Provider) Audit() error {
+	if p.active != len(p.leases) {
+		return fmt.Errorf("cloud %s: active=%d but %d tracked leases", p.cfg.Name, p.active, len(p.leases))
+	}
+	if g := p.UsedGauge.Value(); g != p.active {
+		return fmt.Errorf("cloud %s: used gauge %d disagrees with active %d", p.cfg.Name, g, p.active)
+	}
+	if p.cfg.Quota > 0 && p.active > p.cfg.Quota {
+		return fmt.Errorf("cloud %s: active=%d exceeds quota %d", p.cfg.Name, p.active, p.cfg.Quota)
+	}
+	if p.TotalSpend < 0 || p.SpotSpend < 0 || p.SpotSpend > p.TotalSpend+1e-9 {
+		return fmt.Errorf("cloud %s: spend aggregates inconsistent (total=%g spot=%g)", p.cfg.Name, p.TotalSpend, p.SpotSpend)
+	}
+	ids := make([]string, 0, len(p.leases))
+	for id := range p.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		inst := p.leases[id]
+		if inst.State != InstancePending && inst.State != InstanceRunning {
+			return fmt.Errorf("cloud %s: tracked lease %s is %v", p.cfg.Name, id, inst.State)
+		}
+		if inst.Charge != 0 {
+			return fmt.Errorf("cloud %s: unsettled lease %s carries charge %g", p.cfg.Name, id, inst.Charge)
+		}
+	}
+	for _, inst := range p.spotRun {
+		if !inst.Spot || inst.State != InstanceRunning {
+			return fmt.Errorf("cloud %s: spot-run entry %s is not a running spot lease", p.cfg.Name, inst.ID)
+		}
+		if _, ok := p.leases[inst.ID]; !ok {
+			return fmt.Errorf("cloud %s: spot-run entry %s missing from lease table", p.cfg.Name, inst.ID)
+		}
+		if m, ok := p.markets[inst.Type]; ok && inst.PriceAtLaunch > inst.Bid && m != nil {
+			return fmt.Errorf("cloud %s: running spot lease %s launched above its bid (%g > %g)",
+				p.cfg.Name, inst.ID, inst.PriceAtLaunch, inst.Bid)
+		}
+	}
+	return nil
 }
 
 // Revoke preempts a running spot lease immediately, as if the market

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"meryn/internal/sim"
+	"meryn/internal/workload"
+)
+
+// TestAuditorOnByDefault: a default config gets a live auditor, and a
+// plain Run audits at the default cadence without being asked.
+func TestAuditorOnByDefault(t *testing.T) {
+	p := newPlatform(t, onevcConfig(4))
+	if p.Audit == nil {
+		t.Fatal("default platform has no auditor")
+	}
+	res := run(t, p, workload.Workload{
+		batchApp("a1", "vc1", 0, 600),
+		batchApp("a2", "vc1", 100, 600),
+	})
+	if res.AuditChecks == 0 {
+		t.Fatal("run completed with zero audit checks")
+	}
+	if p.Audit.Violations != 0 {
+		t.Fatalf("clean run reported %d violations", p.Audit.Violations)
+	}
+}
+
+// TestAuditorDisabled: opting out leaves no auditor and no checks, and
+// AuditNow degrades to a nil no-op.
+func TestAuditorDisabled(t *testing.T) {
+	cfg := onevcConfig(4)
+	cfg.Audit = &AuditConfig{Disabled: true}
+	p := newPlatform(t, cfg)
+	if p.Audit != nil {
+		t.Fatal("disabled config still built an auditor")
+	}
+	res := run(t, p, workload.Workload{batchApp("a1", "vc1", 0, 600)})
+	if res.AuditChecks != 0 {
+		t.Fatalf("disabled auditor recorded %d checks", res.AuditChecks)
+	}
+	if err := p.AuditNow(); err != nil {
+		t.Fatalf("AuditNow on disabled auditor: %v", err)
+	}
+}
+
+// TestAuditNowCleanPlatform: a freshly built platform passes the whole
+// catalogue before any workload runs.
+func TestAuditNowCleanPlatform(t *testing.T) {
+	cfg := onevcConfig(4)
+	var got []error
+	cfg.Audit = &AuditConfig{OnFail: func(err error) { got = append(got, err) }}
+	p := newPlatform(t, cfg)
+	if err := p.AuditNow(); err != nil {
+		t.Fatalf("fresh platform fails audit: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("OnFail received %d violations on a clean platform", len(got))
+	}
+	if p.Audit.Checks != 1 {
+		t.Fatalf("Checks = %d after one AuditNow", p.Audit.Checks)
+	}
+}
+
+// TestAuditorDetectsCorruption: hand-corrupting the lease table is
+// caught by the node-conservation check and reported through OnFail
+// (not the default panic).
+func TestAuditorDetectsCorruption(t *testing.T) {
+	cfg := onevcConfig(4)
+	var got []error
+	cfg.Audit = &AuditConfig{OnFail: func(err error) { got = append(got, err) }}
+	p := newPlatform(t, cfg)
+	cm, _ := p.CM("vc1")
+
+	cm.OwnedPrivate++ // corrupt: one phantom private node
+	err := p.AuditNow()
+	if err == nil {
+		t.Fatal("corrupted OwnedPrivate passed the audit")
+	}
+	if !strings.Contains(err.Error(), "OwnedPrivate") {
+		t.Fatalf("violation does not name the broken invariant: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("OnFail not invoked for the violation")
+	}
+	if p.Audit.Violations == 0 {
+		t.Fatal("Violations counter not incremented")
+	}
+	cm.OwnedPrivate-- // restore
+	if err := p.AuditNow(); err != nil {
+		t.Fatalf("restored platform still fails: %v", err)
+	}
+}
+
+// TestAuditorNeverKeepsEngineAlive: with work done and the queue empty
+// the audit timer must not re-arm — otherwise event-exhaustion drivers
+// would spin on self-renewing audit events forever.
+func TestAuditorNeverKeepsEngineAlive(t *testing.T) {
+	cfg := onevcConfig(2)
+	cfg.Audit = &AuditConfig{Every: sim.Seconds(5)}
+	p := newPlatform(t, cfg)
+	s, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitWith(batchApp("a1", "vc1", 0, 300), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunToSettle() {
+		t.Fatal("workload did not settle")
+	}
+	// The engine must run dry: a live audit timer would make this loop
+	// (and any RunAll-style driver) spin forever.
+	for i := 0; p.Eng.Step(); i++ {
+		if i > 10000 {
+			t.Fatal("engine never drains; audit timer keeps re-arming")
+		}
+	}
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditConfigValidation: a negative cadence is rejected, zero gets
+// the default.
+func TestAuditConfigValidation(t *testing.T) {
+	cfg := onevcConfig(2)
+	cfg.Audit = &AuditConfig{Every: -sim.Seconds(1)}
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Fatal("negative audit interval accepted")
+	}
+	cfg = onevcConfig(2)
+	p := newPlatform(t, cfg)
+	if p.Audit.every != sim.Seconds(defaultAuditEveryS) {
+		t.Fatalf("default cadence = %s", p.Audit.every)
+	}
+}

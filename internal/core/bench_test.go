@@ -71,6 +71,33 @@ func BenchmarkSegmentCycle(b *testing.B) {
 	}
 }
 
+// benchAuditRun measures a complete platform run — 20 batch apps over
+// a 10-VM VC — with the invariant auditor at a tight 10 s cadence or
+// disabled, so the pair brackets the auditor's whole-run overhead
+// (recorded in BENCH_chaos.json).
+func benchAuditRun(b *testing.B, disabled bool) {
+	w := make(workload.Workload, 20)
+	for i := range w {
+		w[i] = batchApp(fmt.Sprintf("app-%d", i), "vc1", float64(i*30), 1550)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := onevcConfig(10)
+		cfg.Audit = &AuditConfig{Every: sim.Seconds(10), Disabled: disabled}
+		p, err := NewPlatform(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlatformRunAuditOn(b *testing.B)  { benchAuditRun(b, false) }
+func BenchmarkPlatformRunAuditOff(b *testing.B) { benchAuditRun(b, true) }
+
 // BenchmarkFreePrivateCount measures the idle-private-VM count used by
 // the VM exchange protocol (acquireFromVC, processLoanReturns) on a VC
 // with 25 idle nodes.

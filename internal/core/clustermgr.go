@@ -213,12 +213,23 @@ func (cm *ClusterManager) peers() []*ClusterManager {
 	return out
 }
 
-// attachPrivate joins a private VM to the framework.
-func (cm *ClusterManager) attachPrivate(id string, speed float64) {
+// attachPrivate joins a private VM to the framework. It reports false
+// without attaching when the VM is no longer running: every delayed
+// attach (crash replacement, transfer receive, loan return) races its
+// Configure window against crash injection, and the crash handler
+// cannot route a VM that is not attached yet — unguarded, the dead VM
+// would join the framework and "execute" work. Callers treat a refusal
+// like their existing capacity-raced-away paths: the platform recovers
+// on future job finishes.
+func (cm *ClusterManager) attachPrivate(id string, speed float64) bool {
+	if vm, err := cm.p.VMM.Get(id); err != nil || vm.State != vmm.StateRunning {
+		return false
+	}
 	cm.nodes[id] = &nodeInfo{rate: cm.p.cfg.PrivateVMCost}
 	cm.avail++
 	cm.OwnedPrivate++
 	cm.fw.AddNode(framework.Node{ID: id, SpeedFactor: speed})
+	return true
 }
 
 // attachCloud joins a leased cloud instance to the framework.

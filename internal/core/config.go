@@ -240,6 +240,12 @@ type Config struct {
 	// (default: accept the first offer, as in the paper's evaluation).
 	UserStrategy func(workload.App) sla.User
 
+	// Audit configures the always-on invariant auditor. nil (the
+	// default) enables it with defaults; set Audit.Disabled to opt out.
+	// The auditor is read-only and draws no randomness, so enabling it
+	// changes no simulation outcome (see Auditor).
+	Audit *AuditConfig
+
 	// Latencies configures the Meryn pipeline (default Table 1 calibration).
 	Latencies Latencies
 }
@@ -406,6 +412,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MetricsMaxPoints != 0 && c.MetricsMaxPoints < 4 {
 		return fmt.Errorf("core: MetricsMaxPoints %d must be 0 (exact) or >= 4", c.MetricsMaxPoints)
+	}
+	if c.Audit == nil {
+		c.Audit = &AuditConfig{}
+	}
+	if c.Audit.Every < 0 {
+		return fmt.Errorf("core: negative audit interval %s", c.Audit.Every)
+	}
+	if c.Audit.Every == 0 {
+		c.Audit.Every = sim.Seconds(defaultAuditEveryS)
 	}
 	if c.UserVMPrice < c.cheapestCloudPrice() {
 		return fmt.Errorf("core: user VM price %g below cloud VM cost %g (unbounded platform losses, paper §4.2.1)",

@@ -63,6 +63,10 @@ type Platform struct {
 	CloudUsed   *metrics.Gauge // cloud VMs executing applications
 	Counters    Counters
 
+	// Audit is the always-on invariant auditor (nil when disabled via
+	// Config.Audit.Disabled).
+	Audit *Auditor
+
 	remaining int // unsettled applications in the open session
 
 	// sessMu guards the open/close transitions of session. Engine
@@ -234,6 +238,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 			cm.attachPrivate(vm.ID, vm.SpeedFactor)
 		}
 	}
+	p.Audit = newAuditor(p, cfg.Audit)
 	return p, nil
 }
 
@@ -260,6 +265,7 @@ type Results struct {
 	CloudSpend     float64 // total provider-side cloud charges
 	SpotSpend      float64 // spot-lease share of CloudSpend
 	EventsFired    uint64
+	AuditChecks    int64 // invariant audits performed (0 when disabled)
 }
 
 // settleGrace is how long Run keeps simulating after the last
@@ -313,6 +319,9 @@ func (p *Platform) buildResults() *Results {
 		CloudSeries:   p.CloudUsed.Series(),
 		Counters:      p.Counters,
 		EventsFired:   p.Eng.Fired(),
+	}
+	if p.Audit != nil {
+		res.AuditChecks = p.Audit.Checks
 	}
 	for _, rec := range p.Ledger.All() {
 		if end := sim.ToSeconds(rec.EndTime); end > res.CompletionTime {

@@ -220,6 +220,10 @@ func (s *Session) submit(app workload.App, interactive bool, u sla.User) (*Negot
 	s.order = append(s.order, app.ID)
 	s.submitted++
 	s.p.remaining++
+	// Work entered the platform: make sure an audit barrier is armed.
+	// The timer disarms itself once the platform settles, so drained
+	// engines still run dry.
+	s.p.Audit.arm()
 	at := app.SubmitAt
 	if at < s.p.Eng.Now() {
 		at = s.p.Eng.Now()
@@ -431,6 +435,9 @@ func (s *Session) Drain() (*Results, error) {
 	// Drain follow-up work (transfers, releases, resumes) bounded by the
 	// grace window; without crash injection the queue simply empties.
 	s.p.Eng.Run(s.p.Eng.Now() + settleGrace)
+	// One final audit barrier over the drained platform, so every run
+	// ends with the whole invariant catalogue verified.
+	s.p.Audit.run()
 	s.closeLocked()
 	return s.p.buildResults(), nil
 }

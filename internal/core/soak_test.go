@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"meryn/internal/cloud"
+	"meryn/internal/sim"
+	"meryn/internal/vmm"
+	"meryn/internal/workload"
+)
+
+// soakConfig builds the soak platform: two small batch VCs (one
+// spot-bidding), a market-priced cloud, and the auditor at a 5 s
+// cadence collecting violations instead of panicking so the failing
+// seed can be reported.
+func soakConfig(seed int64, violations *[]error) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.VCs = []VCConfig{
+		{Name: "vc1", Type: workload.TypeBatch, InitialVMs: 6, Spot: &SpotPolicy{BidMultiplier: 1.25}},
+		{Name: "vc2", Type: workload.TypeBatch, InitialVMs: 4},
+	}
+	cfg.Clouds[0].Market = &cloud.MarketConfig{
+		Volatility: 0.15, Reversion: 0.25, Floor: 0.5, Tick: sim.Seconds(30),
+	}
+	cfg.Audit = &AuditConfig{
+		Every:  sim.Seconds(5),
+		OnFail: func(err error) { *violations = append(*violations, err) },
+	}
+	return cfg
+}
+
+// TestSoakRandomOpsUnderAudit is the randomized soak property test: a
+// stream of random operations — submissions, VM crashes, spot
+// revocations, market price shocks — against a live session while the
+// auditor checks the full invariant catalogue every 5 simulated
+// seconds. Any violation fails the test with the seed that produced
+// it, so a failure here is a one-line reproduction recipe.
+func TestSoakRandomOpsUnderAudit(t *testing.T) {
+	seeds := []int64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { soak(t, seed) })
+	}
+}
+
+func soak(t *testing.T, seed int64) {
+	var violations []error
+	p := newPlatform(t, soakConfig(seed, &violations))
+	s, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := 120
+	if testing.Short() {
+		ops = 40
+	}
+	rng := sim.NewRNG(seed, "soak")
+	mustClean := func(op string) {
+		if len(violations) > 0 {
+			t.Fatalf("seed %d: invariant violated after op %s at t=%s:\n%v",
+				seed, op, p.Eng.Now(), violations[0])
+		}
+	}
+	submitted := 0
+	for i := 0; i < ops; i++ {
+		op := "noop"
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // submit a batch app to a random VC
+			vc := "vc1"
+			if rng.Intn(2) == 1 {
+				vc = "vc2"
+			}
+			app := workload.App{
+				ID: fmt.Sprintf("soak-%d", submitted), Type: workload.TypeBatch, VC: vc,
+				SubmitAt: s.p.Eng.Now(),
+				VMs:      1 + rng.Intn(2),
+				Work:     300 + rng.Float64()*900,
+			}
+			submitted++
+			if _, err := s.SubmitWith(app, nil); err != nil {
+				t.Fatalf("seed %d: submit %s: %v", seed, app.ID, err)
+			}
+			op = "submit " + app.ID
+		case 5, 6: // crash a random running VM
+			if vms := p.VMM.List(vmm.StateRunning); len(vms) > 0 {
+				id := vms[rng.Intn(len(vms))].ID
+				if err := p.VMM.Crash(id); err != nil {
+					t.Fatalf("seed %d: crash %s: %v", seed, id, err)
+				}
+				op = "crash " + id
+			}
+		case 7: // revoke a random running spot lease
+			if ids := p.Clouds[0].RunningSpotIDs(); len(ids) > 0 {
+				id := ids[rng.Intn(len(ids))]
+				if err := p.Clouds[0].Revoke(id); err != nil {
+					t.Fatalf("seed %d: revoke %s: %v", seed, id, err)
+				}
+				op = "revoke " + id
+			}
+		case 8, 9: // shock market prices and sweep outbid leases
+			factor := 0.5 + rng.Float64()*3
+			p.Clouds[0].ShockPrices(factor)
+			p.Clouds[0].RevokeOutbid()
+			op = fmt.Sprintf("shock x%.2f", factor)
+		}
+		s.Step(s.Now() + sim.Seconds(30+rng.Float64()*60))
+		mustClean(op)
+	}
+
+	if err := p.AuditNow(); err != nil {
+		t.Fatalf("seed %d: final audit before drain: %v", seed, err)
+	}
+	res, err := s.Drain()
+	if err != nil {
+		t.Fatalf("seed %d: drain: %v", seed, err)
+	}
+	mustClean("drain")
+	if res.AuditChecks == 0 {
+		t.Fatalf("seed %d: auditor never ran", seed)
+	}
+	if got := len(res.Ledger.All()); got != submitted {
+		t.Fatalf("seed %d: ledger has %d records, submitted %d", seed, got, submitted)
+	}
+}

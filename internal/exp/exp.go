@@ -25,6 +25,10 @@ type Scenario struct {
 	// failing unit in a large grid identifies itself (e.g. the Table 1
 	// case or the sweep cell), not just its run index.
 	Label string
+	// Setup, when non-nil, runs against the freshly built platform
+	// before the workload starts — the hook chaos campaigns use to arm
+	// fault injectors on the platform's engine.
+	Setup func(*core.Platform)
 }
 
 // Run builds the platform and executes the scenario.
@@ -38,6 +42,9 @@ func (s Scenario) Run() (*core.Results, error) {
 	p, err := core.NewPlatform(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: building platform: %w", err)
+	}
+	if s.Setup != nil {
+		s.Setup(p)
 	}
 	w := s.Workload
 	if w == nil {
@@ -97,6 +104,11 @@ func All() []Experiment {
 			m := DefaultSpotMatrix()
 			m.BaseSeed = seed
 			return m.Spot(opt)
+		}},
+		{Name: "chaos", Artifact: "Extension: fault campaigns under the invariant auditor (intensity x policy)", Run: func(seed int64, opt Options) (Renderable, error) {
+			m := DefaultChaosMatrix()
+			m.BaseSeed = seed
+			return m.Chaos(opt)
 		}},
 		{Name: "sweep", Artifact: "Parallel matrix sweep (policy x load, mean ±CI)", Run: func(seed int64, opt Options) (Renderable, error) {
 			m := DefaultMatrix()

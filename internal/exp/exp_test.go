@@ -290,7 +290,7 @@ func TestAblationRealisticMerynWins(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
+	if len(all) != 13 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	if _, ok := Find("fig5"); !ok {
@@ -298,6 +298,9 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, ok := Find("spot"); !ok {
 		t.Fatal("spot not found")
+	}
+	if _, ok := Find("chaos"); !ok {
+		t.Fatal("chaos not found")
 	}
 	if _, ok := Find("nope"); ok {
 		t.Fatal("found nonexistent experiment")

@@ -195,6 +195,20 @@ func (b *Batch) FailNode(id string) error {
 // NumNodes implements framework.Framework.
 func (b *Batch) NumNodes() int { return len(b.nodes) }
 
+// InspectNode implements framework.Inspector: a batch node is busy
+// while it hosts a job.
+func (b *Batch) InspectNode(id string) (framework.NodeStatus, bool) {
+	ns, ok := b.nodes[id]
+	if !ok {
+		return framework.NodeStatus{}, false
+	}
+	return framework.NodeStatus{
+		Busy:     ns.jobID != "",
+		Disabled: ns.disabled,
+		Cloud:    ns.node.Cloud,
+	}, true
+}
+
 // FreeNodeIDs implements framework.Framework.
 func (b *Batch) FreeNodeIDs() []string {
 	return b.free.CollectN(nil, -1)

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"meryn/internal/framework"
+	"meryn/internal/framework/fwtest"
 	"meryn/internal/sim"
 )
 
@@ -612,42 +613,11 @@ func TestCrashRequeueRestartsFirst(t *testing.T) {
 }
 
 // checkNodeIndexes compares the maintained free/idle-disabled indexes
-// against a brute-force recomputation from the node table, using the
-// attach order tracked by the test.
+// against a brute-force recomputation from per-node status (shared
+// helper in fwtest), using the attach order tracked by the test.
 func checkNodeIndexes(t *testing.T, b *Batch, attachOrder []string) {
 	t.Helper()
-	var wantFree, wantIdleDis []string
-	wantKind := map[bool][]string{}
-	for _, id := range attachOrder {
-		ns, ok := b.nodes[id]
-		if !ok {
-			continue // removed or failed
-		}
-		switch {
-		case ns.jobID != "":
-		case ns.disabled:
-			wantIdleDis = append(wantIdleDis, id)
-		default:
-			wantFree = append(wantFree, id)
-			wantKind[ns.node.Cloud] = append(wantKind[ns.node.Cloud], id)
-		}
-	}
-	if got := b.FreeNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantFree) {
-		t.Fatalf("FreeNodeIDs = %v, want %v", got, wantFree)
-	}
-	if got := b.IdleDisabledNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantIdleDis) {
-		t.Fatalf("IdleDisabledNodeIDs = %v, want %v", got, wantIdleDis)
-	}
-	for _, cloud := range []bool{false, true} {
-		if got := b.FreeNodeCount(cloud); got != len(wantKind[cloud]) {
-			t.Fatalf("FreeNodeCount(%v) = %d, want %d", cloud, got, len(wantKind[cloud]))
-		}
-		var visited []string
-		b.VisitFreeNodes(cloud, func(id string) bool { visited = append(visited, id); return true })
-		if fmt.Sprint(visited) != fmt.Sprint(wantKind[cloud]) {
-			t.Fatalf("VisitFreeNodes(%v) = %v, want %v", cloud, visited, wantKind[cloud])
-		}
-	}
+	fwtest.CheckIndexes(t, b, attachOrder)
 }
 
 // TestFreeNodeIndexConsistency drives the index through every node/job

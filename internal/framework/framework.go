@@ -111,6 +111,28 @@ type Events struct {
 	OnScale func(*Job)
 }
 
+// NodeStatus is a framework's introspective view of one attached node.
+// It exists for invariant auditing: the platform Auditor and the fwtest
+// helpers recount index state (free lists, idle-disabled lists,
+// per-kind counts) from per-node status and compare against the
+// maintained indexes. Busy means the node currently hosts work: a batch
+// job, at least one MapReduce task slot, or a service replica.
+type NodeStatus struct {
+	Busy     bool
+	Disabled bool
+	Cloud    bool
+}
+
+// Inspector is implemented by frameworks that expose per-node status
+// for auditing. All framework implementations in this repository do;
+// the Auditor degrades gracefully (skips index recounts) for ones that
+// do not.
+type Inspector interface {
+	// InspectNode reports the status of an attached node, or false if
+	// the node is not attached.
+	InspectNode(id string) (NodeStatus, bool)
+}
+
 // Framework is what the Cluster Manager's generic part drives. All
 // methods are synchronous in simulated time; real-world latencies (VM
 // boot, daemon configuration) are charged by the callers that wrap them.

@@ -241,6 +241,20 @@ func (m *MapReduce) FailNode(id string) error {
 // NumNodes implements framework.Framework.
 func (m *MapReduce) NumNodes() int { return len(m.nodes) }
 
+// InspectNode implements framework.Inspector: a MapReduce node is busy
+// while any of its task slots are in use.
+func (m *MapReduce) InspectNode(id string) (framework.NodeStatus, bool) {
+	ns, ok := m.nodes[id]
+	if !ok {
+		return framework.NodeStatus{}, false
+	}
+	return framework.NodeStatus{
+		Busy:     ns.usedSlots > 0,
+		Disabled: ns.disabled,
+		Cloud:    ns.node.Cloud,
+	}, true
+}
+
 // FreeNodeIDs implements framework.Framework (fully idle enabled nodes).
 func (m *MapReduce) FreeNodeIDs() []string {
 	return m.buckets[0].CollectN(nil, -1)

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"meryn/internal/framework"
+	"meryn/internal/framework/fwtest"
 	"meryn/internal/sim"
 )
 
@@ -382,36 +383,18 @@ func TestFailNodeUnknown(t *testing.T) {
 
 // --- Slot-bucket index consistency (PR 2) ---
 
-// checkSlotIndexes compares the maintained bucket/idle-disabled indexes
-// against a brute-force recomputation from the node table, using the
-// attach order tracked by the test.
+// checkSlotIndexes runs the shared fwtest index check plus the
+// MapReduce-specific slot-accounting extras (TotalSlots, least-loaded
+// freeSlotNode pick).
 func checkSlotIndexes(t *testing.T, m *MapReduce, attachOrder []string) {
 	t.Helper()
-	var wantFree, wantIdleDis []string
+	fwtest.CheckIndexes(t, m, attachOrder)
 	enabled := 0
 	for _, id := range attachOrder {
 		ns, ok := m.nodes[id]
-		if !ok {
-			continue // removed or failed
-		}
-		if !ns.disabled {
+		if ok && !ns.disabled {
 			enabled++
 		}
-		switch {
-		case ns.usedSlots == 0 && !ns.disabled:
-			wantFree = append(wantFree, id)
-		case ns.usedSlots == 0 && ns.disabled:
-			wantIdleDis = append(wantIdleDis, id)
-		}
-	}
-	if got := m.FreeNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantFree) {
-		t.Fatalf("FreeNodeIDs = %v, want %v", got, wantFree)
-	}
-	if got := m.IdleDisabledNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantIdleDis) {
-		t.Fatalf("IdleDisabledNodeIDs = %v, want %v", got, wantIdleDis)
-	}
-	if got := m.FreeNodeCount(false) + m.FreeNodeCount(true); got != len(wantFree) {
-		t.Fatalf("FreeNodeCount total = %d, want %d", got, len(wantFree))
 	}
 	if got := m.TotalSlots(); got != enabled*m.SlotsPerNode() {
 		t.Fatalf("TotalSlots = %d, want %d", got, enabled*m.SlotsPerNode())

@@ -261,6 +261,20 @@ func (s *Service) FailNode(id string) error {
 // NumNodes implements framework.Framework.
 func (s *Service) NumNodes() int { return len(s.nodes) }
 
+// InspectNode implements framework.Inspector: a service node is busy
+// while it hosts a replica.
+func (s *Service) InspectNode(id string) (framework.NodeStatus, bool) {
+	ns, ok := s.nodes[id]
+	if !ok {
+		return framework.NodeStatus{}, false
+	}
+	return framework.NodeStatus{
+		Busy:     ns.jobID != "",
+		Disabled: ns.disabled,
+		Cloud:    ns.node.Cloud,
+	}, true
+}
+
 // FreeNodeIDs implements framework.Framework.
 func (s *Service) FreeNodeIDs() []string { return s.free.CollectN(nil, -1) }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"meryn/internal/framework"
+	"meryn/internal/framework/fwtest"
 	"meryn/internal/sim"
 )
 
@@ -315,42 +316,11 @@ func TestDrainFlowForVMExchange(t *testing.T) {
 }
 
 // checkNodeIndexes compares the maintained free/idle-disabled indexes
-// against a brute-force recomputation from the node table — the same
-// invariant check batch and mapreduce carry (PR 2).
+// against a brute-force recomputation from per-node status — the
+// shared fwtest check all three frameworks use.
 func checkNodeIndexes(t *testing.T, s *Service, attachOrder []string) {
 	t.Helper()
-	var wantFree, wantIdleDis []string
-	wantKind := map[bool][]string{}
-	for _, id := range attachOrder {
-		ns, ok := s.nodes[id]
-		if !ok {
-			continue // removed or failed
-		}
-		switch {
-		case ns.jobID != "":
-		case ns.disabled:
-			wantIdleDis = append(wantIdleDis, id)
-		default:
-			wantFree = append(wantFree, id)
-			wantKind[ns.node.Cloud] = append(wantKind[ns.node.Cloud], id)
-		}
-	}
-	if got := s.FreeNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantFree) {
-		t.Fatalf("FreeNodeIDs = %v, want %v", got, wantFree)
-	}
-	if got := s.IdleDisabledNodeIDs(); fmt.Sprint(got) != fmt.Sprint(wantIdleDis) {
-		t.Fatalf("IdleDisabledNodeIDs = %v, want %v", got, wantIdleDis)
-	}
-	for _, cloud := range []bool{false, true} {
-		if got := s.FreeNodeCount(cloud); got != len(wantKind[cloud]) {
-			t.Fatalf("FreeNodeCount(%v) = %d, want %d", cloud, got, len(wantKind[cloud]))
-		}
-		var visited []string
-		s.VisitFreeNodes(cloud, func(id string) bool { visited = append(visited, id); return true })
-		if fmt.Sprint(visited) != fmt.Sprint(wantKind[cloud]) {
-			t.Fatalf("VisitFreeNodes(%v) = %v, want %v", cloud, visited, wantKind[cloud])
-		}
-	}
+	fwtest.CheckIndexes(t, s, attachOrder)
 }
 
 // TestFreeNodeIndexConsistency drives the index through every node/job

@@ -1,0 +1,89 @@
+package sla_test
+
+import (
+	"testing"
+
+	"meryn/internal/sim"
+	"meryn/internal/sla"
+)
+
+// fuzzProvider builds the stock negotiation counterpart: a linear
+// speedup model over a small VM range, so every negotiation opens with
+// a non-empty proposal set.
+func fuzzProvider() *sla.Provider {
+	return &sla.Provider{
+		Model: func(n int) sim.Time {
+			if n < 1 {
+				n = 1
+			}
+			return sim.Seconds(3600 / float64(n))
+		},
+		Processing: sim.Seconds(84),
+		VMPrice:    0.5,
+		PenaltyN:   100,
+		MinVMs:     1,
+		MaxVMs:     8,
+	}
+}
+
+// FuzzNegotiation drives the §4.2.1 negotiation state machine through
+// arbitrary response sequences decoded from the fuzz input and checks
+// its structural invariants after every step: the proposal set exists
+// exactly in NegOffered, a contract exists exactly in NegAgreed, the
+// round counter never exceeds MaxRounds, NegFailed only occurs at the
+// round budget, wrong-state operations always error, and nothing
+// panics.
+func FuzzNegotiation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})                               // Accept(0)
+	f.Add([]byte{0x01, 0x01, 0x00})                   // impose deadline twice, accept
+	f.Add([]byte{0x02, 0x03})                         // impose price, reject
+	f.Add([]byte{0x01, 0x02, 0x01, 0x02, 0x00, 0x03}) // mixed, with post-terminal ops
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		n := sla.NewNegotiation("fuzz-app", fuzzProvider())
+		check := func(step int) {
+			st := n.State()
+			offers := n.Offers()
+			if (st == sla.NegOffered) != (offers != nil) {
+				t.Fatalf("step %d: state %v with offers %v", step, st, offers)
+			}
+			if st == sla.NegOffered && len(offers) == 0 {
+				t.Fatalf("step %d: offered state with empty proposal set", step)
+			}
+			if (st == sla.NegAgreed) != (n.Contract() != nil) {
+				t.Fatalf("step %d: state %v with contract %v", step, st, n.Contract())
+			}
+			if n.Round() < 0 || n.Round() > sla.MaxRounds {
+				t.Fatalf("step %d: round %d outside [0, %d]", step, n.Round(), sla.MaxRounds)
+			}
+			if st == sla.NegFailed && n.Round() != sla.MaxRounds {
+				t.Fatalf("step %d: failed at round %d, want %d", step, n.Round(), sla.MaxRounds)
+			}
+		}
+		check(-1)
+		for i, b := range ops {
+			wasOffered := n.State() == sla.NegOffered
+			var err error
+			switch b % 4 {
+			case 0: // accept the (b>>2)-th offer
+				_, err = n.Accept(int(b >> 2))
+				if err == nil && n.State() != sla.NegAgreed {
+					t.Fatalf("step %d: accept succeeded in state %v", i, n.State())
+				}
+			case 1: // impose a deadline constraint
+				err = n.Impose(sla.Response{ImposeDeadline: sim.Seconds(float64(1+int(b>>2)) * 300)})
+			case 2: // impose a budget constraint
+				err = n.Impose(sla.Response{ImposePrice: float64(1+int(b>>2)) * 200})
+			case 3: // walk away
+				err = n.Reject()
+				if err == nil && n.State() != sla.NegRejected {
+					t.Fatalf("step %d: reject left state %v", i, n.State())
+				}
+			}
+			if !wasOffered && err == nil {
+				t.Fatalf("step %d: op %d succeeded on terminal state", i, b%4)
+			}
+			check(i)
+		}
+	})
+}

@@ -34,6 +34,24 @@ func NewMarketPrice(base, volatility, reversion, floor float64, rng *sim.RNG) *M
 // Current returns the price as of the last Step without advancing it.
 func (m *MarketPrice) Current() float64 { return m.current }
 
+// Shock multiplies the current price by factor, modelling an
+// instantaneous market repricing (demand spike, capacity loss). It is
+// the fault-injection entry point for chaos experiments: unlike Step it
+// draws no randomness, so injecting a shock perturbs no other
+// component's RNG stream. The floor still applies, and mean reversion
+// pulls the shocked price back toward Base on subsequent Steps. A
+// negative factor is clamped to zero (the floor then takes over).
+func (m *MarketPrice) Shock(factor float64) float64 {
+	if factor < 0 {
+		factor = 0
+	}
+	m.current *= factor
+	if m.current < m.Floor {
+		m.current = m.Floor
+	}
+	return m.current
+}
+
 // Step advances the process one tick and returns the new price.
 func (m *MarketPrice) Step() float64 {
 	shock := m.rng.NormFloat64() * m.Volatility * m.Base

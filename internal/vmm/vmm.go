@@ -73,6 +73,16 @@ type VM struct {
 	node *cluster.Node
 }
 
+// NodeID returns the ID of the physical node hosting the VM. Chaos
+// campaigns use it to build correlated failure domains: a site outage
+// crashes every VM sharing a physical node, not a random VM sample.
+func (vm *VM) NodeID() string {
+	if vm.node == nil {
+		return ""
+	}
+	return vm.node.ID
+}
+
 // Latencies configures VM operation costs. Zero-value fields default to
 // constants of zero, which is convenient in unit tests; realistic values
 // come from DefaultLatencies.
@@ -201,6 +211,36 @@ func (m *Manager) List(s State) []*VM {
 		}
 	}
 	return out
+}
+
+// StateCounts returns how many tracked VMs are in each lifecycle state.
+func (m *Manager) StateCounts() map[State]int {
+	out := make(map[State]int)
+	for _, vm := range m.vms {
+		out[vm.State]++
+	}
+	return out
+}
+
+// Audit checks the manager's internal conservation invariants: the
+// active count equals the recount of provisioning+running+stopping VMs,
+// stays within [0, Capacity], and agrees with UsedGauge. It returns the
+// first violation found, or nil. The platform Auditor calls this at
+// every audit barrier.
+func (m *Manager) Audit() error {
+	counts := m.StateCounts()
+	live := counts[StateProvisioning] + counts[StateRunning] + counts[StateStopping]
+	if live != m.active {
+		return fmt.Errorf("vmm: active=%d but state recount=%d (prov=%d run=%d stop=%d)",
+			m.active, live, counts[StateProvisioning], counts[StateRunning], counts[StateStopping])
+	}
+	if m.active < 0 || m.active > m.cfg.MaxVMs {
+		return fmt.Errorf("vmm: active=%d outside [0, %d]", m.active, m.cfg.MaxVMs)
+	}
+	if g := m.UsedGauge.Value(); g != m.active {
+		return fmt.Errorf("vmm: used gauge %d disagrees with active %d", g, m.active)
+	}
+	return nil
 }
 
 func (m *Manager) vmID(i int) string {

@@ -40,6 +40,8 @@ type (
 	VCConfig = core.VCConfig
 	// SpotPolicy opts a VC into preemptible (spot) cloud leasing.
 	SpotPolicy = core.SpotPolicy
+	// AuditConfig configures the always-on invariant auditor.
+	AuditConfig = core.AuditConfig
 	// Latencies configures the Meryn pipeline latencies.
 	Latencies = core.Latencies
 	// Policy selects Meryn bidding or static partitioning.
