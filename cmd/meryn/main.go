@@ -2,9 +2,18 @@
 // submits applications, negotiates SLAs, inspects status and follows
 // the platform's event stream over plain HTTP/JSON.
 //
+// Transient failures are retried with exponential backoff and jitter:
+// a connection refused (daemon restarting), a 429 (load shed; its
+// Retry-After is honored) or a 5xx each back the client off and try
+// again. Submissions carry a client-generated ID when none is given,
+// and the server treats resubmission of a known ID as idempotent — so
+// a retry after a lost reply converges on the same application instead
+// of creating a duplicate, and a kill -9 of merynd mid-negotiation is
+// invisible once the daemon recovers.
+//
 // Usage:
 //
-//	meryn [-addr http://127.0.0.1:8080] <command> [flags]
+//	meryn [-addr http://127.0.0.1:8080] [-retries N] <command> [flags]
 //
 //	meryn submit -type batch -work 1550            # submit, print offers
 //	meryn submit -type batch -work 1550 -accept first -wait
@@ -18,13 +27,16 @@ package main
 import (
 	"bufio"
 	"bytes"
+	crand "crypto/rand"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"meryn/internal/api"
@@ -38,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("meryn", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "merynd base URL")
+	retries := fs.Int("retries", 5, "retries on 429/5xx/connection errors (0 disables)")
+	wait := fs.Duration("retry-wait", 200*time.Millisecond, "base backoff; doubles per retry with jitter, capped at 5s")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: meryn [-addr URL] {submit|status|watch|vcs|metrics} [flags]")
 		fs.PrintDefaults()
@@ -48,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	c := &client{base: *addr, out: stdout, err: stderr}
+	c := &client{base: *addr, out: stdout, err: stderr, retries: *retries, wait: *wait}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
@@ -73,30 +87,85 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 type client struct {
-	base string
-	out  io.Writer
-	err  io.Writer
+	base    string
+	out     io.Writer
+	err     io.Writer
+	retries int
+	wait    time.Duration
+}
+
+// do performs one HTTP request with the retry/backoff ladder: a
+// connection error, a 429 or a 5xx sleeps and tries again (the request
+// is rebuilt from the marshaled body each attempt); anything else is
+// returned with its body open. Retrying state-changing requests is
+// safe because the server applies them idempotently by application ID.
+func (c *client) do(method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		var hinted time.Duration
+		resp, err := http.DefaultClient.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				hinted = time.Duration(secs) * time.Second
+			}
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s %s: %s", method, path, errDetail(resp.Status, raw))
+		default:
+			return resp, nil
+		}
+		if attempt >= c.retries {
+			return nil, lastErr
+		}
+		time.Sleep(max(backoff(c.wait, attempt), hinted))
+	}
+}
+
+// backoff is exponential with full jitter on the upper half:
+// wait·2^attempt capped at 5 s, then drawn from [d/2, d] so a thundering
+// herd of shed clients decorrelates.
+func backoff(wait time.Duration, attempt int) time.Duration {
+	d := wait << min(attempt, 16)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// errDetail prefers the server's JSON error object over the status line.
+func errDetail(status string, raw []byte) string {
+	var apiErr api.Error
+	if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+		return fmt.Sprintf("%s (%s)", apiErr.Error, status)
+	}
+	return status
 }
 
 // call performs one JSON round trip; a response decoding into an
 // api.Error (or a non-2xx code) becomes a Go error.
 func (c *client) call(method, path string, body, out any) error {
-	var rd io.Reader
+	var b []byte
 	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if b, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.do(method, path, b)
 	if err != nil {
 		return err
 	}
@@ -130,11 +199,22 @@ func (c *client) get(path string) int {
 	return 0
 }
 
+// newAppID generates a client-side submission ID, the idempotency key
+// that makes a retried submit (the reply was lost, the daemon was
+// restarting) land on the same application instead of a duplicate.
+func newAppID() string {
+	var b [6]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("cli-%d", time.Now().UnixNano())
+	}
+	return fmt.Sprintf("cli-%x", b)
+}
+
 func (c *client) submit(args []string) int {
 	fs := flag.NewFlagSet("meryn submit", flag.ContinueOnError)
 	fs.SetOutput(c.err)
 	var (
-		id      = fs.String("id", "", "application ID (server-assigned when empty)")
+		id      = fs.String("id", "", "application ID (client-generated when empty)")
 		typ     = fs.String("type", "batch", "application type: batch, mapreduce or service")
 		vc      = fs.String("vc", "", "target VC (routed by type when empty)")
 		vms     = fs.Int("vms", 1, "VMs requested")
@@ -158,6 +238,9 @@ func (c *client) submit(args []string) int {
 	default:
 		fmt.Fprintf(c.err, "meryn: unknown -accept mode %q\n", *accept)
 		return 2
+	}
+	if *id == "" {
+		*id = newAppID()
 	}
 	app := api.App{
 		ID: *id, Type: *typ, VC: *vc, VMs: *vms, WorkS: *work,
@@ -240,7 +323,7 @@ func (c *client) watch(args []string) int {
 		}
 		return 2
 	}
-	resp, err := http.Get(fmt.Sprintf("%s/v1/events?follow=1&since=%d", c.base, *since))
+	resp, err := c.do(http.MethodGet, fmt.Sprintf("/v1/events?follow=1&since=%d", *since), nil)
 	if err != nil {
 		fmt.Fprintln(c.err, "meryn:", err)
 		return 1

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"meryn/internal/api"
+	"meryn/internal/api/server"
+	"meryn/internal/core"
+)
+
+// TestRetryConvergesOnSameApp: the daemon sheds the first two attempts
+// with 429; the client must back off, retry the SAME application ID
+// each time (the idempotency key), and succeed on the third.
+func TestRetryConvergesOnSameApp(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/apps" {
+			http.NotFound(w, r)
+			return
+		}
+		var app api.App
+		if err := json.NewDecoder(r.Body).Decode(&app); err != nil {
+			t.Error(err)
+		}
+		mu.Lock()
+		ids = append(ids, app.ID)
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Error: "control plane at capacity"})
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(api.AppStatus{ID: app.ID, Phase: "negotiating",
+			Offers: []api.Offer{{Index: 0, NumVMs: 1, DeadlineS: 600, Price: 10}}})
+	}))
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-retries", "5", "-retry-wait", "1ms",
+		"submit", "-type", "batch", "-work", "600"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ids) != 3 {
+		t.Fatalf("%d attempts, want 3 (2 shed + 1 accepted)", len(ids))
+	}
+	if ids[0] == "" || ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Fatalf("retries changed the application ID: %v", ids)
+	}
+	if !strings.HasPrefix(ids[0], "cli-") {
+		t.Errorf("client-generated ID %q does not carry the cli- prefix", ids[0])
+	}
+	if !strings.Contains(out.String(), "submitted "+ids[0]) {
+		t.Errorf("stdout missing submission line: %s", out.String())
+	}
+}
+
+// TestRetriesExhausted: a daemon that always sheds eventually defeats
+// the client, which must exit non-zero with the server's error detail.
+func TestRetriesExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.Error{Error: "recovering"})
+	}))
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-retries", "2", "-retry-wait", "1ms",
+		"submit", "-type", "batch", "-work", "600"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "recovering") {
+		t.Errorf("stderr missing server detail: %s", errOut.String())
+	}
+}
+
+// TestConcurrentClientsUnderShedding drives several CLI invocations at
+// a daemon whose in-flight gate admits one mutation at a time. Every
+// client must eventually land (retry + jittered backoff absorbs the
+// 429s) and every submission must be a distinct application — shedding
+// plus retries must not duplicate or drop work. Run under -race this
+// also exercises the client and server concurrency paths.
+func TestConcurrentClientsUnderShedding(t *testing.T) {
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sess, server.Config{
+		MaxInFlight: 1,
+		OnMutate: func() {
+			time.Sleep(5 * time.Millisecond) // hold the gate so others shed
+			sess.RunToSettle()
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	outs := make([]bytes.Buffer, clients)
+	errs := make([]bytes.Buffer, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = run([]string{"-addr", ts.URL, "-retries", "10", "-retry-wait", "5ms",
+				"submit", "-id", fmt.Sprintf("cli-conc-%d", i), "-type", "batch", "-work", "600"},
+				&outs[i], &errs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != 0 {
+			t.Errorf("client %d exit %d\nstdout: %s\nstderr: %s", i, code, outs[i].String(), errs[i].String())
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var apps []api.AppStatus
+	if err := json.NewDecoder(resp.Body).Decode(&apps); err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != clients {
+		raw, _ := json.Marshal(apps)
+		t.Fatalf("%d applications, want %d: %s", len(apps), clients, raw)
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.ID] {
+			t.Errorf("duplicate application %s", a.ID)
+		}
+		seen[a.ID] = true
+	}
+}
+
+// TestBackoffBounds: the ladder doubles, caps at 5s and always jitters
+// within [d/2, d].
+func TestBackoffBounds(t *testing.T) {
+	for attempt := 0; attempt < 20; attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := backoff(100*time.Millisecond, attempt)
+			lo := 100 * time.Millisecond << min(attempt, 16)
+			if lo > 5*time.Second || lo <= 0 {
+				lo = 5 * time.Second
+			}
+			if d < lo/2 || d > lo {
+				t.Fatalf("backoff(100ms, %d) = %v, want within [%v, %v]", attempt, d, lo/2, lo)
+			}
+		}
+	}
+}
+
+// TestNewAppIDUnique: idempotency keys must not collide across calls.
+func TestNewAppIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := newAppID()
+		if !strings.HasPrefix(id, "cli-") {
+			t.Fatalf("id %q lacks cli- prefix", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestWatchRoutesThroughRetry: watch uses the same retrying transport,
+// so a flaky daemon (one 503, then the stream) still yields events.
+func TestWatchRoutesThroughRetry(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		for i := 1; i <= 2; i++ {
+			b, _ := json.Marshal(api.Event{Seq: i, Kind: "submitted", AppID: "a"})
+			w.Write(append(b, '\n'))
+		}
+	}))
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-retries", "3", "-retry-wait", "1ms", "watch"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if got := strings.Count(out.String(), "submitted"); got != 2 {
+		t.Fatalf("streamed %d events, want 2:\n%s", got, out.String())
+	}
+}

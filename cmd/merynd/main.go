@@ -11,12 +11,21 @@
 //     1550 s application at -speed 60 completes in ~26 real seconds and
 //     /v1/events can be watched live.
 //
+// With -state-dir the control plane is crash-safe: every state-changing
+// request is journaled (fsync'd, write-ahead) under the directory, and
+// a restart on the same directory replays snapshot + journal through
+// the session API, rebuilding the pre-crash platform state — a kill -9
+// mid-negotiation is invisible to a retrying client. While the replay
+// runs, /healthz reports "recovering" (503) and every other route is
+// refused with Retry-After.
+//
 // Usage:
 //
 //	merynd                                  # virtual time on 127.0.0.1:8080
 //	merynd -addr 127.0.0.1:0 -addr-file a   # random port, written to file a
 //	merynd -mode wall -speed 60             # scaled wall-clock time
 //	merynd -policy static -seed 7
+//	merynd -state-dir /var/lib/meryn        # durable journal + snapshots
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 
 	"meryn"
 	"meryn/internal/api/server"
+	"meryn/internal/durable"
 )
 
 func main() {
@@ -49,6 +59,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		speed    = fs.Float64("speed", 60, "wall mode: virtual seconds per wall second")
 		policy   = fs.String("policy", "meryn", "resource policy: meryn or static")
 		seed     = fs.Int64("seed", 1, "RNG seed")
+		stateDir = fs.String("state-dir", "", "durable state directory (journal + snapshots); empty disables persistence")
+		snapN    = fs.Int("snapshot-every", 64, "checkpoint the state dir after this many journal records")
+		maxInfl  = fs.Int("max-inflight", 256, "max concurrent state-changing requests before shedding with 429 (0 = unbounded)")
+		httpTO   = fs.Duration("http-timeout", 10*time.Second, "HTTP read and read-header timeout (Slowloris guard)")
+		drainTO  = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -88,9 +103,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 
-	srvCfg := server.Config{}
+	var onMutate func()
 	if *mode == "virtual" {
-		srvCfg.OnMutate = func() { sess.RunToSettle() }
+		onMutate = func() { sess.RunToSettle() }
+	}
+
+	var store *durable.Store
+	if *stateDir != "" {
+		store, err = durable.Open(*stateDir, durable.Meta{Seed: *seed, Policy: *policy})
+		if err != nil {
+			fmt.Fprintln(stderr, "merynd:", err)
+			return 1
+		}
+		defer store.Close()
+	}
+
+	srvCfg := server.Config{
+		OnMutate:      onMutate,
+		Store:         store,
+		SnapshotEvery: *snapN,
+		MaxInFlight:   *maxInfl,
+		Logf:          func(format string, args ...any) { fmt.Fprintf(stderr, "merynd: "+format+"\n", args...) },
 	}
 	srv := server.New(sess, srvCfg)
 
@@ -108,10 +141,52 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	fmt.Fprintf(stdout, "merynd listening on http://%s (mode=%s policy=%s seed=%d)\n", bound, *mode, *policy, *seed)
 
-	// Wall mode: a ticker maps elapsed wall time to virtual time.
+	// Serve while recovering so /healthz can say so; ReadTimeout and
+	// ReadHeaderTimeout bound slow or stalled request heads (Slowloris).
+	// No WriteTimeout: /v1/events?follow=1 is a deliberately long-lived
+	// stream; IdleTimeout reaps keep-alive connections instead.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       *httpTO,
+		ReadHeaderTimeout: *httpTO,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	if store != nil {
+		srv.SetState(server.StateRecovering)
+	}
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	// Replay the durable history (snapshot + journal) through the
+	// session API; the same deterministic engine rebuilds the pre-crash
+	// state. The wall ticker starts only afterwards, so recovery is
+	// deterministic in both modes.
+	if store != nil {
+		if store.TornTail() {
+			fmt.Fprintln(stdout, "merynd: dropped a torn final journal record (crash mid-write)")
+		}
+		if recs := store.Records(); len(recs) > 0 {
+			stats := durable.Replay(sess, recs, onMutate)
+			if snap := store.LastCheckpoint(); snap != nil {
+				srv.SeedIDs(snap.NextID)
+			}
+			fmt.Fprintf(stdout, "merynd: recovered %d records (%d applied, %d no-ops) to t=%.0fs, state digest %016x\n",
+				len(recs), stats.Applied, stats.Failed, sess.Now().Seconds(), sess.Digest())
+			// Compact the recovered history right away: the next crash
+			// replays one snapshot instead of snapshot + long journal.
+			if err := srv.Checkpoint(); err != nil {
+				fmt.Fprintln(stderr, "merynd: post-recovery checkpoint:", err)
+			}
+		}
+		srv.SetState(server.StateServing)
+	}
+
+	// Wall mode: a ticker maps elapsed wall time to virtual time,
+	// resuming from the recovered virtual clock.
 	stop := make(chan struct{})
 	if *mode == "wall" {
 		start := time.Now()
+		base := sess.Now()
 		go func() {
 			ticker := time.NewTicker(250 * time.Millisecond)
 			defer ticker.Stop()
@@ -120,7 +195,7 @@ func run(args []string, stdout, stderr *os.File) int {
 				case <-stop:
 					return
 				case <-ticker.C:
-					target := meryn.Seconds(time.Since(start).Seconds() * *speed)
+					target := base + meryn.Seconds(time.Since(start).Seconds()**speed)
 					if target > sess.Now() {
 						sess.Step(target)
 					}
@@ -129,15 +204,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		}()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
-
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(stdout, "merynd: %s, shutting down\n", sig)
+		fmt.Fprintf(stdout, "merynd: %s, draining\n", sig)
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(stderr, "merynd:", err)
@@ -145,8 +216,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	close(stop)
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful shutdown ladder: refuse new mutations, let in-flight
+	// negotiations finish, then seal the state dir with a final
+	// snapshot so the next boot replays nothing.
+	srv.SetState(server.StateDraining)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	if store != nil {
+		if err := srv.Checkpoint(); err != nil {
+			fmt.Fprintln(stderr, "merynd: final checkpoint:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "merynd: final snapshot written")
+	}
 	return 0
 }

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildMerynd compiles the daemon once per test binary into a temp dir.
+func buildMerynd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "merynd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build merynd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running merynd child process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	out  *bytes.Buffer
+}
+
+// startDaemon boots merynd on a random port with the given extra flags
+// and waits until /healthz answers 200 (i.e. recovery, if any, is done).
+func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	var out bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	d := &daemon{cmd: cmd, out: &out}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
+			d.base = "http://" + string(addr)
+			resp, err := http.Get(d.base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return d
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merynd did not become healthy; output:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (d *daemon) post(t *testing.T, path string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(d.base+path, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+func (d *daemon) get(t *testing.T, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// kill9 delivers SIGKILL — no shutdown hook, no final snapshot; the
+// journal alone must carry the state across.
+func (d *daemon) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+type appView struct {
+	ID     string `json:"id"`
+	Phase  string `json:"phase"`
+	Offers []struct {
+		Price float64 `json:"price"`
+	} `json:"offers"`
+}
+
+// TestCrashRestartRecovers is the end-to-end crash drill from ISSUE 7:
+// drive a negotiation halfway, SIGKILL the daemon, tear the journal's
+// final record by hand, restart on the same state dir — the negotiation
+// must come back resumable and finish, and the recovered daemon's
+// /v1/apps and /v1/metrics must be byte-identical to a control daemon
+// that ran the same actions uninterrupted.
+func TestCrashRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon; skipped with -short")
+	}
+	bin := buildMerynd(t)
+	stateDir := t.TempDir()
+
+	d1 := startDaemon(t, bin, "-state-dir", stateDir)
+	code, raw := d1.post(t, "/v1/apps", map[string]any{"id": "crash-1", "type": "batch", "vms": 1, "work_s": 600})
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	var st appView
+	if err := json.Unmarshal(raw, &st); err != nil || len(st.Offers) == 0 {
+		t.Fatalf("submit reply: %v %s", err, raw)
+	}
+	if code, raw = d1.post(t, "/v1/apps/crash-1/counter", map[string]float64{"price": st.Offers[0].Price}); code != http.StatusOK {
+		t.Fatalf("counter: %d %s", code, raw)
+	}
+
+	// Crash mid-negotiation, then simulate the torn final append a real
+	// power cut leaves behind.
+	d1.kill9(t)
+	j := filepath.Join(stateDir, "journal.ndjson")
+	f, err := os.OpenFile(j, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"c":99,"r":{"seq":9,"kind":"acc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2 := startDaemon(t, bin, "-state-dir", stateDir)
+	if !strings.Contains(d2.out.String(), "torn final journal record") {
+		t.Errorf("restart did not report the torn record; output:\n%s", d2.out.String())
+	}
+	if !strings.Contains(d2.out.String(), "recovered 2 records") {
+		t.Errorf("restart did not report recovery; output:\n%s", d2.out.String())
+	}
+
+	// The negotiation survived the crash: round-2 offers are still on the
+	// table, and accepting completes the application.
+	var cur appView
+	if err := json.Unmarshal(d2.get(t, "/v1/apps/crash-1"), &cur); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Phase != "negotiating" || len(cur.Offers) == 0 {
+		t.Fatalf("after recovery: phase=%s offers=%d", cur.Phase, len(cur.Offers))
+	}
+	if code, raw = d2.post(t, "/v1/apps/crash-1/accept", map[string]int{"offer_index": 0}); code != http.StatusOK {
+		t.Fatalf("accept after recovery: %d %s", code, raw)
+	}
+	apps := d2.get(t, "/v1/apps")
+	metricsB := d2.get(t, "/v1/metrics")
+	if !bytes.Contains(apps, []byte(`"completed"`)) {
+		t.Fatalf("app did not complete after recovery: %s", apps)
+	}
+
+	// Control: the same actions, never interrupted, on a fresh state dir.
+	ctl := startDaemon(t, bin, "-state-dir", t.TempDir())
+	_, raw = ctl.post(t, "/v1/apps", map[string]any{"id": "crash-1", "type": "batch", "vms": 1, "work_s": 600})
+	var cst appView
+	if err := json.Unmarshal(raw, &cst); err != nil {
+		t.Fatal(err)
+	}
+	ctl.post(t, "/v1/apps/crash-1/counter", map[string]float64{"price": cst.Offers[0].Price})
+	ctl.post(t, "/v1/apps/crash-1/accept", map[string]int{"offer_index": 0})
+	if want := ctl.get(t, "/v1/apps"); !bytes.Equal(apps, want) {
+		t.Errorf("/v1/apps diverged from uninterrupted control run:\n got: %s\nwant: %s", apps, want)
+	}
+	if want := ctl.get(t, "/v1/metrics"); !bytes.Equal(metricsB, want) {
+		t.Errorf("/v1/metrics diverged from uninterrupted control run:\n got: %s\nwant: %s", metricsB, want)
+	}
+}
+
+// TestGracefulShutdownSealsState: SIGTERM drains and writes a final
+// snapshot, so the next boot replays a snapshot and an empty journal.
+func TestGracefulShutdownSealsState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon; skipped with -short")
+	}
+	bin := buildMerynd(t)
+	stateDir := t.TempDir()
+
+	d1 := startDaemon(t, bin, "-state-dir", stateDir)
+	if code, raw := d1.post(t, "/v1/apps", map[string]any{"id": "seal-1", "type": "batch", "vms": 1, "work_s": 600}); code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	d1.post(t, "/v1/apps/seal-1/accept", nil)
+	before := d1.get(t, "/v1/apps")
+
+	if err := d1.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.cmd.Wait(); err != nil {
+		t.Fatalf("merynd exit after SIGINT: %v\n%s", err, d1.out.String())
+	}
+	if !strings.Contains(d1.out.String(), "final snapshot written") {
+		t.Errorf("no final snapshot on shutdown; output:\n%s", d1.out.String())
+	}
+	if fi, err := os.Stat(filepath.Join(stateDir, "journal.ndjson")); err != nil || fi.Size() != 0 {
+		t.Errorf("journal not sealed empty: %v, size %d", err, fi.Size())
+	}
+
+	d2 := startDaemon(t, bin, "-state-dir", stateDir)
+	if got := d2.get(t, "/v1/apps"); !bytes.Equal(got, before) {
+		t.Errorf("/v1/apps after snapshot-only recovery:\n got: %s\nwant: %s", got, before)
+	}
+}
+
+// TestHealthzReportsMode is a cheap sanity check that the daemon refuses
+// bad flags and reports where it listens.
+func TestBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the daemon; skipped with -short")
+	}
+	bin := buildMerynd(t)
+	for _, args := range [][]string{
+		{"-mode", "warp"},
+		{"-policy", "chaos"},
+		{"-mode", "wall", "-speed", "-1"},
+	} {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("merynd %v exited 0; output: %s", args, out)
+		}
+		if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() != 1 {
+			t.Errorf("merynd %v exit = %d, want 1 (output: %s)", args, ee.ExitCode(), out)
+		}
+	}
+}

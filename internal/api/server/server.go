@@ -4,20 +4,38 @@
 // /accept, /counter and /reject, and observers follow the platform
 // through /v1/vcs, /v1/metrics and the NDJSON event stream at
 // /v1/events. Handlers translate between wire DTOs (internal/api) and
-// the session API; they hold no state of their own beyond the ID
-// counter, so the split mirrors the handler/server layering of
-// service-oriented PaaS management APIs.
+// the session API.
+//
+// Crash safety and graceful degradation live at this layer:
+//
+//   - when Config.Store is set, every state-changing request is
+//     journaled (write-ahead, fsync'd) before it is applied, and the
+//     store is checkpointed every SnapshotEvery records;
+//   - MaxInFlight bounds concurrent state-changing requests; excess
+//     load is shed with 429 + Retry-After instead of queueing without
+//     bound;
+//   - the server moves through recovering → serving → draining, and
+//     /healthz tells the states apart so orchestrators and clients can
+//     hold their traffic during replay.
+//
+// Retried requests are safe: resubmitting a journaled application ID
+// returns its current status, and re-accepting an already-accepted
+// negotiation returns the agreed contract — at-least-once delivery from
+// a retrying client converges instead of erroring.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"meryn/internal/api"
 	"meryn/internal/core"
+	"meryn/internal/durable"
 	"meryn/internal/sim"
 )
 
@@ -32,6 +50,56 @@ type Config struct {
 	// PollInterval is the event-stream poll period (default 100 ms of
 	// wall time).
 	PollInterval time.Duration
+
+	// Store, when non-nil, is the durable write-ahead journal: every
+	// state-changing request is appended (and fsync'd) before it is
+	// applied, so a crash between apply and reply is recoverable by
+	// replay.
+	Store *durable.Store
+
+	// SnapshotEvery checkpoints the store after this many journal
+	// records (default 64; negative disables periodic checkpoints).
+	SnapshotEvery int
+
+	// MaxInFlight bounds concurrent state-changing requests; the
+	// excess is shed with 429 + Retry-After. Zero means unbounded.
+	MaxInFlight int
+
+	// RetryAfter is the hint sent with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+
+	// Logf receives operational warnings (checkpoint failures). Nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// State is the server's position on the degradation ladder.
+type State int32
+
+// Server states.
+const (
+	// StateServing: normal operation.
+	StateServing State = iota
+	// StateRecovering: journal replay in progress; every /v1 route
+	// answers 503 until it finishes.
+	StateRecovering
+	// StateDraining: shutdown under way; in-flight requests finish,
+	// new state-changing requests are refused.
+	StateDraining
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateServing:
+		return "serving"
+	case StateRecovering:
+		return "recovering"
+	case StateDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
 }
 
 // Server exposes one open session over HTTP.
@@ -39,6 +107,13 @@ type Server struct {
 	sess   *core.Session
 	cfg    Config
 	nextID atomic.Int64
+	state  atomic.Int32
+
+	// wmu serializes journal-then-apply for state-changing requests,
+	// so the journal order is exactly the apply order — the property
+	// replay depends on.
+	wmu      sync.Mutex
+	inflight chan struct{} // nil when MaxInFlight is 0
 }
 
 // New builds a server around an open session.
@@ -46,23 +121,126 @@ func New(sess *core.Session, cfg Config) *Server {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 100 * time.Millisecond
 	}
-	return &Server{sess: sess, cfg: cfg}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{sess: sess, cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return s
 }
 
-// Handler returns the route table.
+// SetState moves the server along the degradation ladder.
+func (s *Server) SetState(st State) { s.state.Store(int32(st)) }
+
+// State returns the server's current state.
+func (s *Server) State() State { return State(s.state.Load()) }
+
+// SeedIDs raises the server-assigned ID counter to at least n. The
+// submit path also skips IDs that already exist, so this is an
+// optimization (recovery restores the counter from the snapshot rather
+// than probing past every replayed submission).
+func (s *Server) SeedIDs(n int64) {
+	for {
+		cur := s.nextID.Load()
+		if cur >= n || s.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Handler returns the route table. While the server is recovering,
+// every route but /healthz answers 503 + Retry-After.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("POST /v1/apps", s.submit)
+	mux.HandleFunc("POST /v1/apps", s.shed(s.submit))
 	mux.HandleFunc("GET /v1/apps", s.listApps)
 	mux.HandleFunc("GET /v1/apps/{id}", s.status)
-	mux.HandleFunc("POST /v1/apps/{id}/accept", s.accept)
-	mux.HandleFunc("POST /v1/apps/{id}/counter", s.counter)
-	mux.HandleFunc("POST /v1/apps/{id}/reject", s.reject)
+	mux.HandleFunc("POST /v1/apps/{id}/accept", s.shed(s.accept))
+	mux.HandleFunc("POST /v1/apps/{id}/counter", s.shed(s.counter))
+	mux.HandleFunc("POST /v1/apps/{id}/reject", s.shed(s.reject))
 	mux.HandleFunc("GET /v1/vcs", s.vcs)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	mux.HandleFunc("GET /v1/events", s.events)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.State() == StateRecovering && r.URL.Path != "/healthz" {
+			s.retryAfterHeader(w)
+			writeErr(w, http.StatusServiceUnavailable, "control plane is recovering")
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// shed wraps a state-changing handler with the degradation ladder: a
+// draining server refuses new mutations, and when MaxInFlight requests
+// are already in flight the surplus is bounced with 429 + Retry-After
+// rather than queued until the listener collapses.
+func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if st := s.State(); st != StateServing {
+			s.retryAfterHeader(w)
+			writeErr(w, http.StatusServiceUnavailable, "control plane is %s", st)
+			return
+		}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.retryAfterHeader(w)
+				writeErr(w, http.StatusTooManyRequests,
+					"control plane at capacity (%d state-changing requests in flight)", s.cfg.MaxInFlight)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// journal makes one record durable ahead of its apply; callers hold
+// s.wmu. A full checkpoint follows every SnapshotEvery records.
+func (s *Server) journal(rec durable.Record) error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	if _, err := s.cfg.Store.Append(rec); err != nil {
+		return err
+	}
+	if s.cfg.SnapshotEvery > 0 && s.cfg.Store.TailLen() >= s.cfg.SnapshotEvery {
+		if err := s.Checkpoint(); err != nil && s.cfg.Logf != nil {
+			// The records are journaled; a failed compaction costs
+			// replay time, not correctness.
+			s.cfg.Logf("server: checkpoint failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint compacts the store's journal into a snapshot stamped with
+// the session's current clock, ID counter and state digest.
+func (s *Server) Checkpoint() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	return s.cfg.Store.Checkpoint(
+		sim.ToSeconds(s.sess.Now()),
+		s.nextID.Load(),
+		fmt.Sprintf("%016x", s.sess.Digest()),
+	)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -81,31 +259,60 @@ func (s *Server) mutated() {
 	}
 }
 
+// health distinguishes the degradation states: 200 while serving, 503
+// (with the state named) while recovering or draining.
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	st := s.State()
+	code := http.StatusOK
+	if st != StateServing {
+		s.retryAfterHeader(w)
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": st.String()})
 }
 
-// submit receives one application, schedules it, waits for the
-// proposal set and returns the submission snapshot (offers included).
+// submit receives one application, journals it, schedules it, waits
+// for the proposal set and returns the submission snapshot (offers
+// included). Resubmitting an ID the platform already knows returns the
+// submission's current status — the idempotency that makes client
+// retries after a lost reply safe.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var dto api.App
 	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if dto.ID == "" {
-		dto.ID = fmt.Sprintf("app-%04d", s.nextID.Add(1))
+		// Skip IDs that already exist: after recovery the counter
+		// restarts, but replayed submissions already hold their IDs.
+		for {
+			id := fmt.Sprintf("app-%04d", s.nextID.Add(1))
+			if _, err := s.sess.Status(id); err != nil {
+				dto.ID = id
+				break
+			}
+		}
+	} else if st, err := s.sess.Status(dto.ID); err == nil {
+		writeJSON(w, http.StatusOK, api.StatusFrom(st))
+		return
 	}
 	app, err := dto.ToWorkload()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	at := s.sess.Now()
+	if err := s.journal(durable.Record{TimeS: sim.ToSeconds(at), Kind: durable.KindSubmit, App: &dto}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
+		return
+	}
 	// Snapshot the clock before scheduling: a future submit_at_s stays
 	// scheduled rather than awaited, so one client cannot fast-forward
 	// the shared virtual clock through everyone else's events (wall
 	// mode delivers the offers when the arrival time comes around).
-	dueNow := app.SubmitAt <= s.sess.Now()
+	dueNow := app.SubmitAt <= at
 	neg, err := s.sess.Submit(app)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -153,11 +360,6 @@ type acceptRequest struct {
 
 func (s *Server) accept(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	neg, ok := s.sess.Negotiation(id)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown app %q", id)
-		return
-	}
 	var req acceptRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -165,8 +367,28 @@ func (s *Server) accept(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	neg, ok := s.sess.Negotiation(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown app %q", id)
+		return
+	}
+	if err := s.journal(durable.Record{
+		TimeS: sim.ToSeconds(s.sess.Now()), Kind: durable.KindAccept,
+		AppID: id, OfferIndex: req.OfferIndex,
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
+		return
+	}
 	c, err := neg.Accept(req.OfferIndex)
 	if err != nil {
+		// A retried accept whose first try landed (the reply was lost)
+		// finds the contract already agreed: return it.
+		if neg.State() == core.NegotiationAccepted && neg.Contract() != nil {
+			writeJSON(w, http.StatusOK, api.ContractFromSLA(neg.Contract()))
+			return
+		}
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -182,11 +404,6 @@ type counterRequest struct {
 
 func (s *Server) counter(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	neg, ok := s.sess.Negotiation(id)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown app %q", id)
-		return
-	}
 	var req counterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -194,6 +411,20 @@ func (s *Server) counter(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.DeadlineS > 0 && req.Price > 0 {
 		writeErr(w, http.StatusBadRequest, "impose exactly one of deadline_s or price")
+		return
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	neg, ok := s.sess.Negotiation(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown app %q", id)
+		return
+	}
+	if err := s.journal(durable.Record{
+		TimeS: sim.ToSeconds(s.sess.Now()), Kind: durable.KindCounter,
+		AppID: id, DeadlineS: req.DeadlineS, Price: req.Price,
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
 		return
 	}
 	offers, err := neg.Counter(sim.Seconds(req.DeadlineS), req.Price)
@@ -207,14 +438,25 @@ func (s *Server) counter(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) reject(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	neg, ok := s.sess.Negotiation(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown app %q", id)
 		return
 	}
-	if err := neg.Reject(); err != nil {
-		writeErr(w, http.StatusConflict, "%v", err)
+	if err := s.journal(durable.Record{
+		TimeS: sim.ToSeconds(s.sess.Now()), Kind: durable.KindReject, AppID: id,
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
 		return
+	}
+	if err := neg.Reject(); err != nil {
+		// A retried reject that already landed converges, like accept.
+		if neg.State() != core.NegotiationRejected {
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
 	}
 	s.mutated()
 	st, _ := s.sess.Status(id)
@@ -240,10 +482,12 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	var since int
 	if q := r.URL.Query().Get("since"); q != "" {
-		if _, err := fmt.Sscanf(q, "%d", &since); err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid since %q", q)
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid since %q: want a non-negative integer", q)
 			return
 		}
+		since = n
 	}
 	follow := r.URL.Query().Get("follow") == "1"
 	w.Header().Set("Content-Type", "application/x-ndjson")

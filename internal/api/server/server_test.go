@@ -236,3 +236,185 @@ func TestConcurrentSubmissions(t *testing.T) {
 		t.Fatal("platform did not settle after concurrent submissions")
 	}
 }
+
+// TestSinceParamValidation: ?since= must be a clean non-negative
+// integer — "5abc" used to be silently read as 5 by Sscanf, and
+// negative cursors were accepted.
+func TestSinceParamValidation(t *testing.T) {
+	ts, _ := boot(t)
+	for q, want := range map[string]int{
+		"5":    http.StatusOK,
+		"0":    http.StatusOK,
+		"5abc": http.StatusBadRequest,
+		"-3":   http.StatusBadRequest,
+		"abc":  http.StatusBadRequest,
+		"1e2":  http.StatusBadRequest,
+		"":     http.StatusOK, // absent param: from the beginning
+	} {
+		url := ts.URL + "/v1/events"
+		if q != "" {
+			url += "?since=" + q
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("since=%q: status %d, want %d", q, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestHealthStates walks the degradation ladder: recovering and
+// draining answer 503 (with the state named and a Retry-After), and a
+// recovering server refuses every /v1 route.
+func TestHealthStates(t *testing.T) {
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess, Config{OnMutate: func() { sess.RunToSettle() }})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	check := func(wantCode int, wantStatus string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantCode || body["status"] != wantStatus {
+			t.Fatalf("healthz = %d %q, want %d %q", resp.StatusCode, body["status"], wantCode, wantStatus)
+		}
+		if wantCode != http.StatusOK && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("degraded healthz without Retry-After")
+		}
+	}
+	check(http.StatusOK, "serving")
+
+	srv.SetState(StateRecovering)
+	check(http.StatusServiceUnavailable, "recovering")
+	resp, err := http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v1/apps while recovering: %d, want 503", resp.StatusCode)
+	}
+
+	srv.SetState(StateDraining)
+	check(http.StatusServiceUnavailable, "draining")
+	var apiErr api.Error
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{Type: "batch", VMs: 1, WorkS: 600}, &apiErr)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+
+	srv.SetState(StateServing)
+	check(http.StatusOK, "serving")
+}
+
+// TestIdempotentResubmit: resubmitting a known application ID returns
+// its current status instead of erroring — the property that makes
+// client retries after a lost reply (or a daemon restart) safe.
+func TestIdempotentResubmit(t *testing.T) {
+	ts, _ := boot(t)
+	app := api.App{ID: "idem-1", Type: "batch", VMs: 1, WorkS: 600}
+	var st api.AppStatus
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps", app, &st); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	var again api.AppStatus
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps", app, &again)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d, want 200", resp.StatusCode)
+	}
+	if again.ID != st.ID || again.Phase != st.Phase || len(again.Offers) != len(st.Offers) {
+		t.Fatalf("resubmit status %+v != original %+v", again, st)
+	}
+
+	// Accept, then resubmit again: still one app, now past negotiation.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/apps/idem-1/accept", nil, nil)
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps", app, &again)
+	if resp.StatusCode != http.StatusOK || again.Phase != "completed" {
+		t.Fatalf("resubmit after accept: %d phase=%s", resp.StatusCode, again.Phase)
+	}
+	var all []api.AppStatus
+	doJSON(t, http.MethodGet, ts.URL+"/v1/apps", nil, &all)
+	if len(all) != 1 {
+		t.Fatalf("%d apps after three submits of one ID", len(all))
+	}
+
+	// A retried accept converges on the agreed contract too.
+	var contract api.Contract
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps/idem-1/accept", nil, &contract)
+	if resp.StatusCode != http.StatusOK || contract.NumVMs == 0 {
+		t.Fatalf("re-accept: %d %+v", resp.StatusCode, contract)
+	}
+}
+
+// TestOverloadShedding saturates the in-flight gate deterministically:
+// one submit parks inside OnMutate, a second must be shed with 429 and
+// a Retry-After header rather than queue.
+func TestOverloadShedding(t *testing.T) {
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv := New(sess, Config{
+		MaxInFlight: 1,
+		OnMutate: func() {
+			entered <- struct{}{}
+			<-release
+			sess.RunToSettle()
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan *http.Response, 1)
+	go func() {
+		var st api.AppStatus
+		done <- doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{ID: "slow", Type: "batch", VMs: 1, WorkS: 600}, &st)
+	}()
+	<-entered // the first submit holds the gate's only slot
+
+	var apiErr api.Error
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{ID: "shed", Type: "batch", VMs: 1, WorkS: 600}, &apiErr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit under load: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if apiErr.Error == "" {
+		t.Fatal("429 without a JSON error body")
+	}
+
+	close(release)
+	if first := <-done; first.StatusCode != http.StatusCreated {
+		t.Fatalf("gated submit: %d, want 201", first.StatusCode)
+	}
+	// The shed client retries once capacity frees up and succeeds.
+	var st api.AppStatus
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/apps", api.App{ID: "shed", Type: "batch", VMs: 1, WorkS: 600}, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("retry after shed: %d, want 201", resp.StatusCode)
+	}
+}

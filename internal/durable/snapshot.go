@@ -1,0 +1,94 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Meta is the configuration fingerprint a state directory is bound to.
+// Replaying records against a differently-configured platform would
+// silently rebuild a *different* deterministic state, so Open refuses a
+// mismatch outright.
+type Meta struct {
+	Seed   int64  `json:"seed"`
+	Policy string `json:"policy"`
+}
+
+// Snapshot is the compacted record history: because state is a pure
+// function of the record sequence, "snapshotting the session" is
+// snapshotting its inputs. TimeS, Digest and NextID document the state
+// the records rebuild (the digest lets recovery verify byte-identical
+// replay); LastSeq lets the store drop journal records the snapshot
+// already covers after a crash between snapshot and journal truncate.
+type Snapshot struct {
+	Meta    Meta     `json:"meta"`
+	TimeS   float64  `json:"time_s"`
+	NextID  int64    `json:"next_id"`
+	Digest  string   `json:"digest,omitempty"`
+	LastSeq int64    `json:"last_seq"`
+	Records []Record `json:"records"`
+}
+
+const (
+	snapshotName = "snapshot.json"
+	journalName  = "journal.ndjson"
+)
+
+// writeSnapshot replaces the snapshot atomically: write to a temp file,
+// fsync it, rename over the old snapshot, fsync the directory. A crash
+// at any point leaves either the old snapshot or the new one — never a
+// half-written file.
+func writeSnapshot(dir string, s *Snapshot) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, snapshotName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads the snapshot; (nil, nil) when none exists yet.
+func loadSnapshot(dir string) (*Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: %w", filepath.Join(dir, snapshotName), err)
+	}
+	return &s, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

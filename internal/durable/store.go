@@ -1,0 +1,190 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is one state directory: the current snapshot plus the journal
+// tail that accumulated since it was written. All methods are safe for
+// concurrent use, though the control plane serializes state-changing
+// requests anyway.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	meta Meta
+	j    *Journal
+
+	snap *Snapshot // last durable checkpoint (nil before the first)
+	tail []Record  // journal records newer than the snapshot
+	torn bool      // a damaged final journal record was dropped at Open
+}
+
+// Open binds a state directory, creating it when absent. An existing
+// directory must carry the same configuration fingerprint; its journal
+// may end in a torn record (dropped and truncated away), but damage
+// anywhere else refuses to load rather than replay a gapped history.
+func Open(dir string, meta Meta) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snap, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	lastSeq := int64(0)
+	if snap != nil {
+		if snap.Meta != meta {
+			return nil, fmt.Errorf("durable: state dir %s was written by seed=%d policy=%s, refusing to recover with seed=%d policy=%s",
+				dir, snap.Meta.Seed, snap.Meta.Policy, meta.Seed, meta.Policy)
+		}
+		for i, r := range snap.Records {
+			if r.Seq != int64(i)+1 {
+				return nil, fmt.Errorf("durable: snapshot record %d carries seq %d", i, r.Seq)
+			}
+		}
+		lastSeq = snap.LastSeq
+		if n := int64(len(snap.Records)); lastSeq != n {
+			return nil, fmt.Errorf("durable: snapshot says last_seq=%d but holds %d records", lastSeq, n)
+		}
+	}
+
+	jpath := filepath.Join(dir, journalName)
+	tail, clean, torn, err := readJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		// Drop the damaged bytes so the next append starts on a clean
+		// frame boundary instead of gluing onto a partial line.
+		if err := os.Truncate(jpath, clean); err != nil {
+			return nil, fmt.Errorf("durable: truncating torn journal tail: %w", err)
+		}
+	}
+	// A crash between writing a snapshot and truncating the journal
+	// leaves records in both; the snapshot wins for everything it
+	// covers.
+	for len(tail) > 0 && tail[0].Seq <= lastSeq {
+		tail = tail[1:]
+	}
+	for _, r := range tail {
+		if r.Seq != lastSeq+1 {
+			return nil, fmt.Errorf("durable: journal gap: record seq %d follows %d", r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+	}
+	// The surviving tail predates a snapshot that never happened; fold
+	// it back into a fresh journal if we truncated (keeps the file's
+	// clean prefix exactly the surviving records).
+	j, err := openJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, meta: meta, j: j, snap: snap, tail: tail, torn: torn}, nil
+}
+
+// Records returns the full replayable history, snapshot records first.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	if s.snap != nil {
+		out = append(out, s.snap.Records...)
+	}
+	return append(out, s.tail...)
+}
+
+// TailLen is the number of records journaled since the last
+// checkpoint — the "how stale is the snapshot" gauge the server's
+// periodic checkpoint trigger watches.
+func (s *Store) TailLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tail)
+}
+
+// TornTail reports whether Open dropped a damaged final journal record.
+func (s *Store) TornTail() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.torn
+}
+
+// LastCheckpoint returns the snapshot Open recovered or Checkpoint last
+// wrote (nil before the first). The caller must not mutate it.
+func (s *Store) LastCheckpoint() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Append stamps the record with the next sequence number and makes it
+// durable. The returned record carries the assigned Seq.
+func (s *Store) Append(r Record) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Seq = s.lastSeqLocked() + 1
+	if err := s.j.Append(r); err != nil {
+		return Record{}, err
+	}
+	s.tail = append(s.tail, r)
+	return r, nil
+}
+
+func (s *Store) lastSeqLocked() int64 {
+	if n := len(s.tail); n > 0 {
+		return s.tail[n-1].Seq
+	}
+	if s.snap != nil {
+		return s.snap.LastSeq
+	}
+	return 0
+}
+
+// Checkpoint compacts the full history into a new snapshot and
+// truncates the journal. timeS, nextID and digest document the state
+// the records rebuild (digest: core.Session.Digest at a quiescent
+// moment, used to verify recovery).
+func (s *Store) Checkpoint(timeS float64, nextID int64, digest string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &Snapshot{
+		Meta:    s.meta,
+		TimeS:   timeS,
+		NextID:  nextID,
+		Digest:  digest,
+		LastSeq: s.lastSeqLocked(),
+	}
+	if s.snap != nil {
+		snap.Records = append(snap.Records, s.snap.Records...)
+	}
+	snap.Records = append(snap.Records, s.tail...)
+	if err := writeSnapshot(s.dir, snap); err != nil {
+		return err
+	}
+	// The snapshot is durable; the journal's contents are now redundant.
+	// Crash-ordering note: if we die before the truncate lands, Open
+	// dedupes by sequence number.
+	if err := s.j.Close(); err != nil {
+		return err
+	}
+	jpath := filepath.Join(s.dir, journalName)
+	if err := os.Truncate(jpath, 0); err != nil {
+		return err
+	}
+	j, err := openJournal(jpath)
+	if err != nil {
+		return err
+	}
+	s.j, s.snap, s.tail = j, snap, nil
+	return nil
+}
+
+// Close releases the journal file. The store stays readable on disk.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Close()
+}
