@@ -1,0 +1,392 @@
+// Command meryn-load is an open-loop load generator for the merynd
+// control plane: it launches interactive sessions at a fixed rate —
+// submit, accept the first offer, then poll until the application
+// settles — regardless of how fast the server answers, so queueing
+// delay shows up as latency instead of hiding in a closed feedback
+// loop.
+//
+// Every HTTP operation is timed client-side; at the end the tool
+// computes p50/p95/p99 and throughput, scrapes the daemon's own
+// /metrics exposition, derives the same quantiles from the server's
+// meryn_http_request_duration_seconds histogram, and writes both sets
+// plus an agreement verdict to a JSON benchmark artifact.
+//
+// Usage:
+//
+//	merynd -mode wall -speed 600 &
+//	meryn-load -addr http://127.0.0.1:8080 -rate 10 -duration 10s \
+//	    -work 600 -out BENCH_control_plane.json
+package main
+
+import (
+	crand "crypto/rand"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"meryn/internal/api"
+	"meryn/internal/stats"
+	"meryn/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("meryn-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "merynd base URL")
+		rate     = fs.Float64("rate", 10, "sessions launched per second (open loop)")
+		duration = fs.Duration("duration", 10*time.Second, "launch window; sessions started after this are none")
+		typ      = fs.String("type", "batch", "application type submitted")
+		vms      = fs.Int("vms", 1, "VMs requested per application")
+		work     = fs.Float64("work", 600, "work in reference CPU-seconds per application")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		settleTO = fs.Duration("settle-timeout", 30*time.Second, "give up polling a session after this long")
+		out      = fs.String("out", "BENCH_control_plane.json", "benchmark artifact path (empty writes to stdout only)")
+		quiet    = fs.Bool("q", false, "quiet: suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *rate <= 0 || *duration <= 0 {
+		fmt.Fprintln(stderr, "meryn-load: -rate and -duration must be positive")
+		return 2
+	}
+	log := telemetry.NewLogger(stderr, telemetry.LogConfig{Quiet: *quiet})
+
+	g := &generator{
+		base:     strings.TrimRight(*addr, "/"),
+		client:   &http.Client{Timeout: *timeout},
+		settleTO: *settleTO,
+		app:      api.App{Type: *typ, VMs: *vms, WorkS: *work},
+		log:      log,
+		nonce:    runNonce(),
+	}
+
+	// Open loop: a ticker fires at the configured rate and each tick
+	// launches a fresh session goroutine, whether or not earlier
+	// sessions have finished.
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	log.Info("load starting", "addr", g.base, "rate", *rate, "duration", *duration,
+		"interval", interval, "type", *typ, "work_s", *work)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	launched := 0
+	ticker := time.NewTicker(interval)
+	for now := start; !now.After(deadline); now = <-ticker.C {
+		launched++
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			g.session(n)
+		}(launched)
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+	log.Info("load finished", "launched", launched, "completed", g.completed,
+		"rejected", g.rejected, "failed", g.failed, "elapsed", elapsed)
+
+	report, err := g.report(launched, elapsed)
+	if err != nil {
+		fmt.Fprintln(stderr, "meryn-load:", err)
+		return 1
+	}
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(stderr, "meryn-load:", err)
+			return 1
+		}
+		log.Info("benchmark written", "path", *out)
+	}
+	stdout.Write(blob)
+	if !report.Agreement.OK {
+		fmt.Fprintln(stderr, "meryn-load: client and server latency quantiles disagree")
+		return 3
+	}
+	return 0
+}
+
+// runNonce distinguishes this run's application IDs from earlier runs
+// against the same (durable) daemon, so idempotent resubmission never
+// aliases a previous benchmark's applications.
+func runNonce() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano()%1_000_000)
+	}
+	return fmt.Sprintf("%x", b)
+}
+
+type generator struct {
+	base     string
+	client   *http.Client
+	settleTO time.Duration
+	app      api.App
+	log      interface {
+		Warn(msg string, args ...any)
+		Info(msg string, args ...any)
+	}
+	nonce string
+
+	mu        sync.Mutex
+	ops       map[string]*stats.Summary // per-op latency, seconds
+	all       stats.Summary             // every timed op
+	opCount   int
+	completed int
+	rejected  int
+	failed    int
+}
+
+// timed runs one HTTP round trip and records its latency under the op
+// label. Non-2xx statuses are returned as errors with the server's
+// JSON detail when present.
+func (g *generator) timed(op, method, path string, body, outv any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = strings.NewReader(string(b))
+	}
+	req, err := http.NewRequest(method, g.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	lat := time.Since(start).Seconds()
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.ops == nil {
+		g.ops = map[string]*stats.Summary{}
+	}
+	s := g.ops[op]
+	if s == nil {
+		s = &stats.Summary{}
+		g.ops[op] = s
+	}
+	s.Add(lat)
+	g.all.Add(lat)
+	g.opCount++
+	g.mu.Unlock()
+	if resp.StatusCode/100 != 2 {
+		var apiErr api.Error
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if outv != nil {
+		return json.Unmarshal(raw, outv)
+	}
+	return nil
+}
+
+// session drives one interactive client: submit, accept the first
+// offer, then poll status until the application settles.
+func (g *generator) session(n int) {
+	id := fmt.Sprintf("load-%s-%d", g.nonce, n)
+	app := g.app
+	app.ID = id
+
+	var st api.AppStatus
+	if err := g.timed("submit", http.MethodPost, "/v1/apps", app, &st); err != nil {
+		g.fail("submit", id, err)
+		return
+	}
+	if st.Phase == "rejected" {
+		g.mu.Lock()
+		g.rejected++
+		g.mu.Unlock()
+		return
+	}
+	if len(st.Offers) == 0 {
+		g.fail("submit", id, fmt.Errorf("no offers (phase=%s)", st.Phase))
+		return
+	}
+	var contract api.Contract
+	if err := g.timed("accept", http.MethodPost, "/v1/apps/"+id+"/accept",
+		map[string]int{"offer_index": 0}, &contract); err != nil {
+		g.fail("accept", id, err)
+		return
+	}
+	deadline := time.Now().Add(g.settleTO)
+	for {
+		var cur api.AppStatus
+		if err := g.timed("status", http.MethodGet, "/v1/apps/"+id, nil, &cur); err != nil {
+			g.fail("status", id, err)
+			return
+		}
+		switch cur.Phase {
+		case "completed":
+			g.mu.Lock()
+			g.completed++
+			g.mu.Unlock()
+			return
+		case "rejected":
+			g.mu.Lock()
+			g.rejected++
+			g.mu.Unlock()
+			return
+		}
+		if time.Now().After(deadline) {
+			g.fail("settle", id, fmt.Errorf("timed out in phase %s", cur.Phase))
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (g *generator) fail(op, id string, err error) {
+	g.mu.Lock()
+	g.failed++
+	g.mu.Unlock()
+	g.log.Warn("session failed", "op", op, "app", id, "err", err.Error())
+}
+
+// quantiles condenses one latency population for the artifact.
+type quantiles struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean_s"`
+	P50  float64 `json:"p50_s"`
+	P95  float64 `json:"p95_s"`
+	P99  float64 `json:"p99_s"`
+	Max  float64 `json:"max_s"`
+}
+
+func summarize(s *stats.Summary) quantiles {
+	return quantiles{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+		Max:  s.Max(),
+	}
+}
+
+type agreement struct {
+	P50 bool `json:"p50"`
+	P95 bool `json:"p95"`
+	P99 bool `json:"p99"`
+	OK  bool `json:"ok"`
+}
+
+type benchReport struct {
+	Tool     string `json:"tool"`
+	Addr     string `json:"addr"`
+	Sessions struct {
+		Launched  int `json:"launched"`
+		Completed int `json:"completed"`
+		Rejected  int `json:"rejected"`
+		Failed    int `json:"failed"`
+	} `json:"sessions"`
+	ElapsedS      float64              `json:"elapsed_s"`
+	ThroughputOps float64              `json:"throughput_ops_per_s"`
+	Client        quantiles            `json:"client_latency"`
+	ClientByOp    map[string]quantiles `json:"client_latency_by_op"`
+	Server        struct {
+		Count float64 `json:"n"`
+		P50   float64 `json:"p50_s"`
+		P95   float64 `json:"p95_s"`
+		P99   float64 `json:"p99_s"`
+	} `json:"server_latency"`
+	Agreement agreement `json:"agreement"`
+}
+
+// report assembles the artifact: client-side quantiles, the server's
+// own histogram quantiles scraped from /metrics, and the cross-check.
+func (g *generator) report(launched int, elapsed time.Duration) (*benchReport, error) {
+	r := &benchReport{Tool: "meryn-load", Addr: g.base}
+	g.mu.Lock()
+	r.Sessions.Launched = launched
+	r.Sessions.Completed = g.completed
+	r.Sessions.Rejected = g.rejected
+	r.Sessions.Failed = g.failed
+	r.ElapsedS = elapsed.Seconds()
+	if r.ElapsedS > 0 {
+		r.ThroughputOps = float64(g.opCount) / r.ElapsedS
+	}
+	r.Client = summarize(&g.all)
+	r.ClientByOp = map[string]quantiles{}
+	for op, s := range g.ops {
+		r.ClientByOp[op] = summarize(s)
+	}
+	g.mu.Unlock()
+	if r.Client.N == 0 {
+		return nil, fmt.Errorf("no operations completed against %s", g.base)
+	}
+
+	resp, err := g.client.Get(g.base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape /metrics: %s", resp.Status)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse /metrics: %w", err)
+	}
+	buckets := telemetry.HistogramBuckets(samples, "meryn_http_request_duration_seconds")
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("server exposes no meryn_http_request_duration_seconds histogram")
+	}
+	for _, b := range buckets {
+		if math.IsInf(b.UpperBound, 1) {
+			r.Server.Count = b.Count
+		}
+	}
+	r.Server.P50 = telemetry.Quantile(0.50, buckets)
+	r.Server.P95 = telemetry.Quantile(0.95, buckets)
+	r.Server.P99 = telemetry.Quantile(0.99, buckets)
+
+	// The cross-check is deliberately generous: the client adds network
+	// and scheduling overhead on top of server-side handling, the
+	// server's quantiles are interpolated from doubling buckets (up to
+	// 2x coarse), and the server histogram covers all routes including
+	// traffic this tool did not generate. Quantiles agree when they sit
+	// within 50 ms or within one bucket doubling of each other.
+	agree := func(client, server float64) bool {
+		return math.Abs(client-server) <= 0.050 ||
+			math.Abs(client-server) <= math.Max(client, server)/2
+	}
+	r.Agreement.P50 = agree(r.Client.P50, r.Server.P50)
+	r.Agreement.P95 = agree(r.Client.P95, r.Server.P95)
+	r.Agreement.P99 = agree(r.Client.P99, r.Server.P99)
+	r.Agreement.OK = r.Agreement.P50 && r.Agreement.P95 && r.Agreement.P99
+	return r, nil
+}

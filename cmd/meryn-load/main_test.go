@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meryn/internal/api/server"
+	"meryn/internal/core"
+	"meryn/internal/telemetry"
+
+	"net/http/httptest"
+)
+
+func bootDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sess, server.Config{
+		OnMutate: func() { sess.RunToSettle() },
+		Registry: telemetry.NewRegistry(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadRunEmitsBenchmark drives a short open-loop run against an
+// in-process daemon and checks the artifact: sessions completed, both
+// latency populations present, and the client/server quantiles agree.
+func TestLoadRunEmitsBenchmark(t *testing.T) {
+	ts := bootDaemon(t)
+	out := filepath.Join(t.TempDir(), "BENCH_control_plane.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-rate", "50", "-duration", "200ms",
+		"-work", "600", "-settle-timeout", "5s", "-q", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, blob)
+	}
+	if rep.Tool != "meryn-load" {
+		t.Errorf("tool = %q", rep.Tool)
+	}
+	if rep.Sessions.Launched < 2 {
+		t.Errorf("launched %d sessions, want >= 2", rep.Sessions.Launched)
+	}
+	if rep.Sessions.Completed < 1 {
+		t.Errorf("completed %d sessions, want >= 1 (failed=%d rejected=%d)\nstderr: %s",
+			rep.Sessions.Completed, rep.Sessions.Failed, rep.Sessions.Rejected, stderr.String())
+	}
+	if rep.Client.N < 3 || rep.Client.P50 <= 0 || rep.Client.P99 < rep.Client.P50 {
+		t.Errorf("client quantiles malformed: %+v", rep.Client)
+	}
+	for _, op := range []string{"submit", "accept", "status"} {
+		if q, ok := rep.ClientByOp[op]; !ok || q.N == 0 {
+			t.Errorf("per-op quantiles missing %q: %+v", op, rep.ClientByOp)
+		}
+	}
+	if rep.Server.Count < float64(rep.Client.N) {
+		t.Errorf("server histogram count %.0f < client ops %d", rep.Server.Count, rep.Client.N)
+	}
+	if !rep.Agreement.OK {
+		t.Errorf("quantiles disagree: client %+v server %+v", rep.Client, rep.Server)
+	}
+	if rep.ThroughputOps <= 0 {
+		t.Errorf("throughput = %g", rep.ThroughputOps)
+	}
+	// The artifact also lands on stdout for piping.
+	if !strings.Contains(stdout.String(), `"tool": "meryn-load"`) {
+		t.Errorf("stdout missing artifact:\n%s", stdout.String())
+	}
+}
+
+// TestLoadAgainstBareDaemon: a daemon without a registry has no
+// /metrics endpoint; the run must fail cleanly rather than fabricate a
+// server-side comparison.
+func TestLoadAgainstBareDaemon(t *testing.T) {
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sess, server.Config{OnMutate: func() { sess.RunToSettle() }})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-rate", "20", "-duration", "100ms",
+		"-q", "-out", filepath.Join(t.TempDir(), "b.json")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "/metrics") {
+		t.Errorf("stderr does not name the scrape failure: %s", stderr.String())
+	}
+}
+
+// TestLoadFlagValidation rejects nonsense rates and durations.
+func TestLoadFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rate", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-rate 0 exit %d, want 2", code)
+	}
+	if code := run([]string{"-duration", "0s"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-duration 0 exit %d, want 2", code)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"meryn/internal/api"
+	"meryn/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "merynd base URL")
 	retries := fs.Int("retries", 5, "retries on 429/5xx/connection errors (0 disables)")
 	wait := fs.Duration("retry-wait", 200*time.Millisecond, "base backoff; doubles per retry with jitter, capped at 5s")
+	quiet := fs.Bool("q", false, "quiet: suppress retry/progress logging")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: meryn [-addr URL] {submit|status|watch|vcs|metrics} [flags]")
 		fs.PrintDefaults()
@@ -62,7 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	c := &client{base: *addr, out: stdout, err: stderr, retries: *retries, wait: *wait}
+	c := &client{
+		base: *addr, out: stdout, err: stderr, retries: *retries, wait: *wait,
+		log: telemetry.NewLogger(stderr, telemetry.LogConfig{Quiet: *quiet}),
+	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
@@ -92,6 +98,7 @@ type client struct {
 	err     io.Writer
 	retries int
 	wait    time.Duration
+	log     *slog.Logger
 }
 
 // do performs one HTTP request with the retry/backoff ladder: a
@@ -131,7 +138,13 @@ func (c *client) do(method, path string, body []byte) (*http.Response, error) {
 		if attempt >= c.retries {
 			return nil, lastErr
 		}
-		time.Sleep(max(backoff(c.wait, attempt), hinted))
+		sleep := max(backoff(c.wait, attempt), hinted)
+		if c.log != nil {
+			c.log.Info("retrying",
+				"attempt", attempt+1, "of", c.retries,
+				"cause", lastErr.Error(), "backoff", sleep)
+		}
+		time.Sleep(sleep)
 	}
 }
 

@@ -190,6 +190,59 @@ func TestNewAppIDUnique(t *testing.T) {
 	}
 }
 
+// TestRetryLogging: each retry attempt is logged to stderr with the
+// attempt number, cause and backoff — and -q suppresses the lines.
+func TestRetryLogging(t *testing.T) {
+	newFlaky := func() *httptest.Server {
+		var mu sync.Mutex
+		attempts := 0
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if n <= 2 {
+				w.WriteHeader(http.StatusTooManyRequests)
+				json.NewEncoder(w).Encode(api.Error{Error: "control plane at capacity"})
+				return
+			}
+			var app api.App
+			json.NewDecoder(r.Body).Decode(&app)
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(api.AppStatus{ID: app.ID, Phase: "negotiating"})
+		}))
+	}
+
+	ts := newFlaky()
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-retries", "5", "-retry-wait", "1ms",
+		"submit", "-type", "batch", "-work", "600"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	log := errOut.String()
+	if strings.Count(log, "msg=retrying") != 2 {
+		t.Errorf("want 2 retry log lines, got:\n%s", log)
+	}
+	for _, want := range []string{"attempt=1", "attempt=2", "cause=", "backoff=", "control plane at capacity"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("retry log missing %q:\n%s", want, log)
+		}
+	}
+
+	ts2 := newFlaky()
+	defer ts2.Close()
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-q", "-addr", ts2.URL, "-retries", "5", "-retry-wait", "1ms",
+		"submit", "-type", "batch", "-work", "600"}, &out, &errOut); code != 0 {
+		t.Fatalf("quiet exit %d, stderr: %s", code, errOut.String())
+	}
+	if strings.Contains(errOut.String(), "retrying") {
+		t.Errorf("-q did not suppress retry logging:\n%s", errOut.String())
+	}
+}
+
 // TestWatchRoutesThroughRetry: watch uses the same retrying transport,
 // so a flaky daemon (one 503, then the stream) still yields events.
 func TestWatchRoutesThroughRetry(t *testing.T) {

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +44,7 @@ import (
 	"meryn"
 	"meryn/internal/api/server"
 	"meryn/internal/durable"
+	"meryn/internal/telemetry"
 )
 
 func main() {
@@ -64,6 +66,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxInfl  = fs.Int("max-inflight", 256, "max concurrent state-changing requests before shedding with 429 (0 = unbounded)")
 		httpTO   = fs.Duration("http-timeout", 10*time.Second, "HTTP read and read-header timeout (Slowloris guard)")
 		drainTO  = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests")
+		logLevel = fs.String("log-level", "info", "structured log level: debug, info, warn or error")
+		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -91,6 +95,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "merynd: -speed must be positive, got %g\n", *speed)
 		return 1
 	}
+
+	if _, ok := telemetry.ParseLevel(*logLevel); !ok {
+		fmt.Fprintf(stderr, "merynd: unknown log level %q (want debug, info, warn or error)\n", *logLevel)
+		return 1
+	}
+	logger := telemetry.NewLogger(stderr, telemetry.LogConfig{Level: *logLevel, JSON: *logJSON})
+	reg := telemetry.NewRegistry()
 
 	p, err := meryn.New(cfg)
 	if err != nil {
@@ -124,6 +135,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		SnapshotEvery: *snapN,
 		MaxInFlight:   *maxInfl,
 		Logf:          func(format string, args ...any) { fmt.Fprintf(stderr, "merynd: "+format+"\n", args...) },
+		Logger:        logger,
+		Registry:      reg,
 	}
 	srv := server.New(sess, srvCfg)
 
@@ -140,6 +153,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	fmt.Fprintf(stdout, "merynd listening on http://%s (mode=%s policy=%s seed=%d)\n", bound, *mode, *policy, *seed)
+	logger.Info("listening", "addr", bound, "mode", *mode, "policy", *policy, "seed", *seed, "durable", store != nil)
 
 	// Serve while recovering so /healthz can say so; ReadTimeout and
 	// ReadHeaderTimeout bound slow or stalled request heads (Slowloris).
@@ -161,17 +175,33 @@ func run(args []string, stdout, stderr *os.File) int {
 	// session API; the same deterministic engine rebuilds the pre-crash
 	// state. The wall ticker starts only afterwards, so recovery is
 	// deterministic in both modes.
+	replayRecords := reg.Gauge("meryn_replay_records", "Journal records replayed at the last boot.")
+	replaySeconds := reg.Gauge("meryn_replay_seconds", "Wall time the last boot spent replaying the journal.")
+	replayRate := reg.Gauge("meryn_replay_records_per_second", "Replay throughput at the last boot.")
 	if store != nil {
 		if store.TornTail() {
 			fmt.Fprintln(stdout, "merynd: dropped a torn final journal record (crash mid-write)")
+			logger.Warn("journal tail torn", "action", "dropped final record")
 		}
 		if recs := store.Records(); len(recs) > 0 {
+			span := telemetry.StartSpan(context.Background(), logger, "replay")
 			stats := durable.Replay(sess, recs, onMutate)
+			elapsed := span.Finish(slog.Int("records", len(recs)), slog.Int("applied", stats.Applied))
 			if snap := store.LastCheckpoint(); snap != nil {
 				srv.SeedIDs(snap.NextID)
 			}
+			rate := 0.0
+			if secs := elapsed.Seconds(); secs > 0 {
+				rate = float64(len(recs)) / secs
+			}
+			replayRecords.Set(float64(len(recs)))
+			replaySeconds.Set(elapsed.Seconds())
+			replayRate.Set(rate)
 			fmt.Fprintf(stdout, "merynd: recovered %d records (%d applied, %d no-ops) to t=%.0fs, state digest %016x\n",
 				len(recs), stats.Applied, stats.Failed, sess.Now().Seconds(), sess.Digest())
+			logger.Info("replay complete",
+				"records", len(recs), "applied", stats.Applied, "noops", stats.Failed,
+				"elapsed", elapsed, "records_per_sec", rate, "virtual_t_s", sess.Now().Seconds())
 			// Compact the recovered history right away: the next crash
 			// replays one snapshot instead of snapshot + long journal.
 			if err := srv.Checkpoint(); err != nil {

@@ -293,6 +293,8 @@ type Metrics struct {
 	EventsFired uint64           `json:"events_fired"`
 	Submitted   int              `json:"submitted"`
 	Settled     int              `json:"settled"`
+	AuditChecks int64            `json:"audit_checks"`
+	NegRounds   int              `json:"negotiation_rounds"`
 	Counters    map[string]int64 `json:"counters"`
 }
 
@@ -308,6 +310,8 @@ func MetricsFrom(m core.PlatformMetrics) Metrics {
 		EventsFired: m.EventsFired,
 		Submitted:   m.Submitted,
 		Settled:     m.Settled,
+		AuditChecks: m.AuditChecks,
+		NegRounds:   m.NegRounds,
 		Counters: map[string]int64{
 			"bid_rounds":         c.BidRounds.Count,
 			"vm_transfers":       c.VMTransfers.Count,

@@ -27,8 +27,10 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,7 @@ import (
 	"meryn/internal/core"
 	"meryn/internal/durable"
 	"meryn/internal/sim"
+	"meryn/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -71,6 +74,16 @@ type Config struct {
 	// Logf receives operational warnings (checkpoint failures). Nil
 	// discards them.
 	Logf func(format string, args ...any)
+
+	// Logger, when non-nil, emits one structured access-log line per
+	// request (request ID, method, route, status, latency, bytes).
+	Logger *slog.Logger
+
+	// Registry, when non-nil, instruments the whole request path
+	// (latency histograms per route, inflight gauge, shed counter,
+	// journal/snapshot I/O latency, session gauges) and serves the
+	// Prometheus exposition at GET /metrics.
+	Registry *telemetry.Registry
 }
 
 // State is the server's position on the degradation ladder.
@@ -114,6 +127,9 @@ type Server struct {
 	// replay depends on.
 	wmu      sync.Mutex
 	inflight chan struct{} // nil when MaxInFlight is 0
+
+	tel     *httpMetrics // nil when Config.Registry is nil
+	started time.Time    // process-local; /healthz reports uptime from here
 }
 
 // New builds a server around an open session.
@@ -127,9 +143,14 @@ func New(sess *core.Session, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
-	s := &Server{sess: sess, cfg: cfg}
+	s := &Server{sess: sess, cfg: cfg, started: time.Now()}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.Registry != nil {
+		s.tel = newHTTPMetrics(cfg.Registry)
+		registerDurableMetrics(cfg.Registry, cfg.Store)
+		s.registerSessionGauges(cfg.Registry)
 	}
 	return s
 }
@@ -154,21 +175,40 @@ func (s *Server) SeedIDs(n int64) {
 }
 
 // Handler returns the route table. While the server is recovering,
-// every route but /healthz answers 503 + Retry-After.
+// every route but /healthz and /metrics answers 503 + Retry-After.
+// Every route is instrumented (when telemetry is configured) with its
+// pattern as the route label, so path parameters don't explode the
+// label space.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("POST /v1/apps", s.shed(s.submit))
-	mux.HandleFunc("GET /v1/apps", s.listApps)
-	mux.HandleFunc("GET /v1/apps/{id}", s.status)
-	mux.HandleFunc("POST /v1/apps/{id}/accept", s.shed(s.accept))
-	mux.HandleFunc("POST /v1/apps/{id}/counter", s.shed(s.counter))
-	mux.HandleFunc("POST /v1/apps/{id}/reject", s.shed(s.reject))
-	mux.HandleFunc("GET /v1/vcs", s.vcs)
-	mux.HandleFunc("GET /v1/metrics", s.metrics)
-	mux.HandleFunc("GET /v1/events", s.events)
+	routes := map[string]http.HandlerFunc{
+		"GET /healthz":               s.health,
+		"POST /v1/apps":              s.shed(s.submit),
+		"GET /v1/apps":               s.listApps,
+		"GET /v1/apps/{id}":          s.status,
+		"POST /v1/apps/{id}/accept":  s.shed(s.accept),
+		"POST /v1/apps/{id}/counter": s.shed(s.counter),
+		"POST /v1/apps/{id}/reject":  s.shed(s.reject),
+		"GET /v1/vcs":                s.vcs,
+		"GET /v1/metrics":            s.metrics,
+		"GET /v1/events":             s.events,
+	}
+	if s.cfg.Registry != nil {
+		routes["GET /metrics"] = s.cfg.Registry.Handler().ServeHTTP
+	}
+	for pattern, h := range routes {
+		route := pattern[strings.IndexByte(pattern, ' ')+1:]
+		mux.HandleFunc(pattern, s.obs(route, h))
+		if s.tel != nil {
+			// Instantiate the per-route series up front: the scrape
+			// shape is complete from the first request, not grown
+			// lazily as routes get traffic.
+			s.tel.duration.With(route)
+			s.tel.bytes.With(route)
+		}
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.State() == StateRecovering && r.URL.Path != "/healthz" {
+		if s.State() == StateRecovering && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
 			s.retryAfterHeader(w)
 			writeErr(w, http.StatusServiceUnavailable, "control plane is recovering")
 			return
@@ -193,6 +233,9 @@ func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
 			case s.inflight <- struct{}{}:
 				defer func() { <-s.inflight }()
 			default:
+				if s.tel != nil {
+					s.tel.shed.Inc()
+				}
 				s.retryAfterHeader(w)
 				writeErr(w, http.StatusTooManyRequests,
 					"control plane at capacity (%d state-changing requests in flight)", s.cfg.MaxInFlight)
@@ -259,6 +302,14 @@ func (s *Server) mutated() {
 	}
 }
 
+// healthBody is the /healthz JSON answer: the degradation-ladder state
+// by name plus process uptime, so orchestrators (status code) and
+// humans (body) read the same story.
+type healthBody struct {
+	Status  string  `json:"status"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
 // health distinguishes the degradation states: 200 while serving, 503
 // (with the state named) while recovering or draining.
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
@@ -268,7 +319,7 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		s.retryAfterHeader(w)
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"status": st.String()})
+	writeJSON(w, code, healthBody{Status: st.String(), UptimeS: time.Since(s.started).Seconds()})
 }
 
 // submit receives one application, journals it, schedules it, waits

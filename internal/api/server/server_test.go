@@ -288,12 +288,21 @@ func TestHealthStates(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var body map[string]string
+		var body struct {
+			Status  string  `json:"status"`
+			UptimeS float64 `json:"uptime_s"`
+		}
 		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 			t.Fatal(err)
 		}
-		if resp.StatusCode != wantCode || body["status"] != wantStatus {
-			t.Fatalf("healthz = %d %q, want %d %q", resp.StatusCode, body["status"], wantCode, wantStatus)
+		if resp.StatusCode != wantCode || body.Status != wantStatus {
+			t.Fatalf("healthz = %d %q, want %d %q", resp.StatusCode, body.Status, wantCode, wantStatus)
+		}
+		if body.UptimeS <= 0 {
+			t.Fatalf("healthz uptime_s = %g, want > 0", body.UptimeS)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("healthz Content-Type = %q, want application/json", ct)
 		}
 		if wantCode != http.StatusOK && resp.Header.Get("Retry-After") == "" {
 			t.Fatal("degraded healthz without Retry-After")

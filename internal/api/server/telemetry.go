@@ -1,0 +1,167 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"meryn/internal/durable"
+	"meryn/internal/telemetry"
+)
+
+// httpMetrics is the server's instrument bundle on a telemetry
+// registry: the request path (latency, volume, inflight, shed, bytes),
+// the durable layer's I/O tax, and scrape-time gauges mirroring the
+// session's own counters.
+type httpMetrics struct {
+	requests *telemetry.CounterVec   // route, method, code
+	duration *telemetry.HistogramVec // route
+	inflight *telemetry.Gauge
+	shed     *telemetry.Counter
+	bytes    *telemetry.CounterVec // route
+}
+
+// newHTTPMetrics registers the HTTP instrument bundle.
+func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.CounterVec("meryn_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		duration: reg.HistogramVec("meryn_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", nil, "route"),
+		inflight: reg.Gauge("meryn_http_requests_inflight",
+			"HTTP requests currently being served."),
+		shed: reg.Counter("meryn_http_requests_shed_total",
+			"State-changing requests shed with 429 at the inflight gate."),
+		bytes: reg.CounterVec("meryn_http_response_bytes_total",
+			"Response body bytes written, by route pattern.", "route"),
+	}
+}
+
+// registerDurableMetrics wires the store's latency hooks into
+// histograms. The series are registered even without a store so the
+// exposition is shape-stable; they just stay at zero.
+func registerDurableMetrics(reg *telemetry.Registry, store *durable.Store) {
+	appendH := reg.Histogram("meryn_journal_append_seconds",
+		"Write-ahead journal append latency (write + fsync).", nil)
+	fsyncH := reg.Histogram("meryn_journal_fsync_seconds",
+		"fsync share of each journal append.", nil)
+	sealH := reg.Histogram("meryn_snapshot_seal_seconds",
+		"Snapshot checkpoint write latency (marshal through dir fsync).", nil)
+	if store == nil {
+		return
+	}
+	store.SetHooks(durable.Hooks{
+		JournalAppend: func(total, fsync float64) {
+			appendH.Observe(total)
+			fsyncH.Observe(fsync)
+		},
+		SnapshotSeal: sealH.Observe,
+	})
+}
+
+// registerSessionGauges mirrors the session's platform counters into
+// scrape-time gauges: one Session.Metrics snapshot per scrape feeds
+// them all.
+func (s *Server) registerSessionGauges(reg *telemetry.Registry) {
+	events := reg.Gauge("meryn_engine_events_fired", "Simulation engine events dispatched (ticks).")
+	audits := reg.Gauge("meryn_audit_checks", "Invariant audits completed.")
+	rounds := reg.Gauge("meryn_negotiation_rounds", "Completed SLA negotiation rounds, summed over submissions.")
+	submitted := reg.Gauge("meryn_apps_submitted", "Applications submitted this session.")
+	settled := reg.Gauge("meryn_apps_settled", "Applications settled (completed or rejected).")
+	private := reg.Gauge("meryn_private_vms_in_use", "Private VMs currently attached to VCs.")
+	cloudVMs := reg.Gauge("meryn_cloud_vms_in_use", "Cloud VMs currently attached to VCs.")
+	spend := reg.Gauge("meryn_cloud_spend_units", "Cumulative cloud spend in price units.")
+	vtime := reg.Gauge("meryn_virtual_time_seconds", "The platform's virtual clock.")
+	reg.OnScrape(func() {
+		m := s.sess.Metrics()
+		events.Set(float64(m.EventsFired))
+		audits.Set(float64(m.AuditChecks))
+		rounds.Set(float64(m.NegRounds))
+		submitted.Set(float64(m.Submitted))
+		settled.Set(float64(m.Settled))
+		private.Set(float64(m.PrivateUsed))
+		cloudVMs.Set(float64(m.CloudUsed))
+		spend.Set(m.CloudSpend)
+		vtime.Set(m.Now.Seconds())
+	})
+}
+
+// statusRecorder captures the status code and body bytes a handler
+// writes. It forwards Flush so the NDJSON event stream keeps working
+// through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// obs instruments one route: request-ID generation/propagation (the
+// X-Request-ID answer header is set before the handler runs, so every
+// response — errors included — carries it), latency/volume/bytes
+// metrics, and one structured access-log line per request.
+func (s *Server) obs(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.tel == nil && s.cfg.Logger == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(telemetry.RequestIDHeader)
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.RequestIDHeader, id)
+		r = r.WithContext(telemetry.ContextWithRequestID(r.Context(), id))
+		if s.tel != nil {
+			s.tel.inflight.Inc()
+			defer s.tel.inflight.Dec()
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h(rec, r)
+		dur := time.Since(start)
+		code := rec.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		if s.tel != nil {
+			s.tel.requests.With(route, r.Method, strconv.Itoa(code)).Inc()
+			s.tel.duration.With(route).Observe(dur.Seconds())
+			s.tel.bytes.With(route).Add(float64(rec.bytes))
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", code),
+				slog.Duration("duration", dur),
+				slog.Int64("bytes", rec.bytes),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"meryn/internal/api"
+	"meryn/internal/core"
+	"meryn/internal/durable"
+	"meryn/internal/telemetry"
+)
+
+// bootTel boots a virtual-time server with telemetry wired: a registry,
+// an access logger writing into the returned buffer, and (optionally) a
+// durable store.
+func bootTel(t *testing.T, store *durable.Store) (*httptest.Server, *Server, *bytes.Buffer) {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	srv := New(sess, Config{
+		OnMutate: func() { sess.RunToSettle() },
+		Store:    store,
+		Registry: telemetry.NewRegistry(),
+		Logger:   telemetry.NewLogger(&logBuf, telemetry.LogConfig{}),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, &logBuf
+}
+
+func scrape(t *testing.T, ts *httptest.Server) (string, []telemetry.Sample) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	return buf.String(), samples
+}
+
+func sampleValue(samples []telemetry.Sample, name string, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestMetricsEndpoint drives one full negotiation and checks the
+// scrape: per-route request counters and latency histograms, session
+// gauges, and the journal histograms (fsync observed, store wired).
+func TestMetricsEndpoint(t *testing.T) {
+	store, err := durable.Open(t.TempDir(), durable.Meta{Seed: 1, Policy: "meryn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _, _ := bootTel(t, store)
+
+	var st api.AppStatus
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps",
+		api.App{ID: "tel-1", Type: "batch", VMs: 1, WorkS: 600}, &st); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	var offers []api.Offer
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps/tel-1/counter",
+		map[string]float64{"price": st.Offers[0].Price}, &offers); resp.StatusCode != http.StatusOK {
+		t.Fatalf("counter: %d", resp.StatusCode)
+	}
+	var contract api.Contract
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps/tel-1/accept",
+		map[string]int{"offer_index": 0}, &contract); resp.StatusCode != http.StatusOK {
+		t.Fatalf("accept: %d", resp.StatusCode)
+	}
+
+	out, samples := scrape(t, ts)
+	if v, ok := sampleValue(samples, "meryn_http_requests_total",
+		map[string]string{"route": "/v1/apps", "method": "POST", "code": "201"}); !ok || v != 1 {
+		t.Errorf("submit counter = %g (ok=%v), want 1\n%s", v, ok, out)
+	}
+	if v, ok := sampleValue(samples, "meryn_http_request_duration_seconds_count",
+		map[string]string{"route": "/v1/apps/{id}/accept"}); !ok || v != 1 {
+		t.Errorf("accept latency count = %g (ok=%v), want 1", v, ok)
+	}
+	// Route label is the pattern, not the concrete path.
+	if strings.Contains(out, `route="/v1/apps/tel-1/accept"`) {
+		t.Errorf("concrete path leaked into route label:\n%s", out)
+	}
+	// Three journaled mutations (submit, counter, accept) → three appends.
+	if v, ok := sampleValue(samples, "meryn_journal_fsync_seconds_count", nil); !ok || v != 3 {
+		t.Errorf("journal fsync count = %g (ok=%v), want 3", v, ok)
+	}
+	if v, ok := sampleValue(samples, "meryn_journal_append_seconds_count", nil); !ok || v != 3 {
+		t.Errorf("journal append count = %g (ok=%v), want 3", v, ok)
+	}
+	// Session gauges reflect the one submitted-and-settled app.
+	if v, ok := sampleValue(samples, "meryn_apps_submitted", nil); !ok || v != 1 {
+		t.Errorf("apps submitted gauge = %g (ok=%v), want 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "meryn_apps_settled", nil); !ok || v != 1 {
+		t.Errorf("apps settled gauge = %g (ok=%v), want 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "meryn_engine_events_fired", nil); !ok || v <= 0 {
+		t.Errorf("engine events gauge = %g (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := sampleValue(samples, "meryn_negotiation_rounds", nil); !ok || v < 1 {
+		t.Errorf("negotiation rounds gauge = %g (ok=%v), want >= 1", v, ok)
+	}
+	// The shed counter renders (at zero) even though nothing was shed.
+	if v, ok := sampleValue(samples, "meryn_http_requests_shed_total", nil); !ok || v != 0 {
+		t.Errorf("shed counter = %g (ok=%v), want 0", v, ok)
+	}
+	// Every mounted route has a pre-instantiated latency series.
+	for _, route := range []string{"/healthz", "/metrics", "/v1/events", "/v1/vcs"} {
+		if _, ok := sampleValue(samples, "meryn_http_request_duration_seconds_count",
+			map[string]string{"route": route}); !ok {
+			t.Errorf("route %s has no pre-instantiated latency series", route)
+		}
+	}
+}
+
+// TestRequestIDPropagation: a client-sent X-Request-ID is echoed on the
+// response; without one the server generates an ID; error responses
+// carry the header too; and the access log names the ID and route.
+func TestRequestIDPropagation(t *testing.T) {
+	ts, _, logBuf := bootTel(t, nil)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/apps", nil)
+	req.Header.Set(telemetry.RequestIDHeader, "client-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(telemetry.RequestIDHeader); got != "client-chose-this" {
+		t.Errorf("client request ID not echoed: %q", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/vcs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	generated := resp.Header.Get(telemetry.RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(generated) {
+		t.Errorf("generated request ID %q is not 16 hex chars", generated)
+	}
+
+	// An error response (unknown app → 404) still carries the header.
+	resp, err = http.Get(ts.URL + "/v1/apps/no-such-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || apiErr.Error == "" {
+		t.Fatalf("error response: %d %q", resp.StatusCode, apiErr.Error)
+	}
+	if resp.Header.Get(telemetry.RequestIDHeader) == "" {
+		t.Error("error response lost the X-Request-ID header")
+	}
+
+	log := logBuf.String()
+	if !strings.Contains(log, "request_id=client-chose-this") {
+		t.Errorf("access log missing client request ID:\n%s", log)
+	}
+	if !strings.Contains(log, "route=/v1/apps/{id}") || !strings.Contains(log, "status=404") {
+		t.Errorf("access log missing route pattern / status for the 404:\n%s", log)
+	}
+}
+
+// TestShedCounterIncrements fills the inflight gate by hand, so the
+// next mutation sheds deterministically and the counter moves.
+func TestShedCounterIncrements(t *testing.T) {
+	p, err := core.NewPlatform(core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess, Config{
+		OnMutate:    func() { sess.RunToSettle() },
+		MaxInFlight: 1,
+		Registry:    telemetry.NewRegistry(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	srv.inflight <- struct{}{} // occupy the only slot
+	var apiErr api.Error
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/apps",
+		api.App{Type: "batch", VMs: 1, WorkS: 600}, &apiErr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit with full gate: %d, want 429", resp.StatusCode)
+	}
+	<-srv.inflight
+
+	_, samples := scrape(t, ts)
+	if v, ok := sampleValue(samples, "meryn_http_requests_shed_total", nil); !ok || v != 1 {
+		t.Errorf("shed counter = %g (ok=%v), want 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "meryn_http_requests_total",
+		map[string]string{"route": "/v1/apps", "code": "429"}); !ok || v != 1 {
+		t.Errorf("429 request counter = %g (ok=%v), want 1", v, ok)
+	}
+}
+
+// TestMetricsDuringRecovery: /metrics stays scrapeable while every /v1
+// route is refused, so replay progress is observable.
+func TestMetricsDuringRecovery(t *testing.T) {
+	ts, srv, _ := bootTel(t, nil)
+	srv.SetState(StateRecovering)
+	resp, err := http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/v1/apps while recovering: %d, want 503", resp.StatusCode)
+	}
+	out, _ := scrape(t, ts)
+	if !strings.Contains(out, "meryn_http_requests_total") {
+		t.Fatalf("scrape while recovering missing series:\n%s", out)
+	}
+}

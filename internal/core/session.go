@@ -139,6 +139,8 @@ type PlatformMetrics struct {
 	EventsFired uint64
 	Submitted   int
 	Settled     int
+	AuditChecks int64 // invariant audits completed (0 when disabled)
+	NegRounds   int   // completed negotiation rounds, summed over submissions
 	Counters    Counters
 }
 
@@ -394,6 +396,14 @@ func (s *Session) Metrics() PlatformMetrics {
 		Submitted:   s.submitted,
 		Settled:     s.submitted - s.p.remaining,
 		Counters:    s.p.Counters,
+	}
+	if s.p.Audit != nil {
+		m.AuditChecks = s.p.Audit.Checks
+	}
+	for _, id := range s.order {
+		if g := s.negs[id]; g.m != nil {
+			m.NegRounds += g.m.Round()
+		}
 	}
 	for _, prov := range s.p.Clouds {
 		m.CloudSpend += prov.TotalSpend

@@ -238,11 +238,11 @@ func TestJournalGap(t *testing.T) {
 // TestRecordValidate rejects the shapes that could never replay.
 func TestRecordValidate(t *testing.T) {
 	bad := []Record{
-		{Kind: KindSubmit},                         // no app
-		{Kind: KindSubmit, App: &api.App{}},        // no ID
-		{Kind: KindAccept},                         // no target
-		{Kind: "warp", AppID: "a"},                 // unknown kind
-		{Kind: KindReject, AppID: "a", TimeS: -1},  // negative time
+		{Kind: KindSubmit},                        // no app
+		{Kind: KindSubmit, App: &api.App{}},       // no ID
+		{Kind: KindAccept},                        // no target
+		{Kind: "warp", AppID: "a"},                // unknown kind
+		{Kind: KindReject, AppID: "a", TimeS: -1}, // negative time
 	}
 	for i, r := range bad {
 		if err := r.Validate(); err == nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"time"
 )
 
 // A journal is NDJSON with per-line CRC framing:
@@ -28,6 +29,10 @@ type frame struct {
 type Journal struct {
 	f    *os.File
 	path string
+
+	// onAppend, when non-nil, observes each append's total and fsync
+	// wall time — the durability tax, surfaced on /metrics.
+	onAppend func(total, fsync time.Duration)
 }
 
 // openJournal opens (creating if needed) the journal for appending.
@@ -54,11 +59,17 @@ func (j *Journal) Append(r Record) error {
 		return err
 	}
 	line = append(line, '\n')
+	start := time.Now()
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("durable: journal write: %w", err)
 	}
+	syncStart := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("durable: journal fsync: %w", err)
+	}
+	if j.onAppend != nil {
+		now := time.Now()
+		j.onAppend(now.Sub(start), now.Sub(syncStart))
 	}
 	return nil
 }

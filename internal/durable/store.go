@@ -5,7 +5,20 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
+
+// Hooks observe the store's I/O latencies — the durability tax the
+// control plane pays per request. All fields are optional; nil funcs
+// are skipped. Durations are seconds, ready for latency histograms.
+type Hooks struct {
+	// JournalAppend fires after each durable append with the total
+	// append time and the fsync share of it.
+	JournalAppend func(totalSeconds, fsyncSeconds float64)
+	// SnapshotSeal fires after each checkpoint's snapshot write
+	// (marshal + write + fsync + rename + dir fsync).
+	SnapshotSeal func(seconds float64)
+}
 
 // Store is one state directory: the current snapshot plus the journal
 // tail that accumulated since it was written. All methods are safe for
@@ -17,9 +30,10 @@ type Store struct {
 	meta Meta
 	j    *Journal
 
-	snap *Snapshot // last durable checkpoint (nil before the first)
-	tail []Record  // journal records newer than the snapshot
-	torn bool      // a damaged final journal record was dropped at Open
+	snap  *Snapshot // last durable checkpoint (nil before the first)
+	tail  []Record  // journal records newer than the snapshot
+	torn  bool      // a damaged final journal record was dropped at Open
+	hooks Hooks
 }
 
 // Open binds a state directory, creating it when absent. An existing
@@ -105,6 +119,28 @@ func (s *Store) TailLen() int {
 	return len(s.tail)
 }
 
+// SetHooks installs latency observers. Call before serving traffic;
+// the hooks must be safe for use from whichever goroutine appends.
+func (s *Store) SetHooks(h Hooks) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = h
+	s.armJournalHookLocked()
+}
+
+// armJournalHookLocked (re)wires the append observer onto the current
+// journal — needed again after Checkpoint swaps the journal file.
+func (s *Store) armJournalHookLocked() {
+	if s.hooks.JournalAppend == nil {
+		s.j.onAppend = nil
+		return
+	}
+	fn := s.hooks.JournalAppend
+	s.j.onAppend = func(total, fsync time.Duration) {
+		fn(total.Seconds(), fsync.Seconds())
+	}
+}
+
 // TornTail reports whether Open dropped a damaged final journal record.
 func (s *Store) TornTail() bool {
 	s.mu.Lock()
@@ -161,8 +197,12 @@ func (s *Store) Checkpoint(timeS float64, nextID int64, digest string) error {
 		snap.Records = append(snap.Records, s.snap.Records...)
 	}
 	snap.Records = append(snap.Records, s.tail...)
+	sealStart := time.Now()
 	if err := writeSnapshot(s.dir, snap); err != nil {
 		return err
+	}
+	if s.hooks.SnapshotSeal != nil {
+		s.hooks.SnapshotSeal(time.Since(sealStart).Seconds())
 	}
 	// The snapshot is durable; the journal's contents are now redundant.
 	// Crash-ordering note: if we die before the truncate lands, Open
@@ -179,6 +219,7 @@ func (s *Store) Checkpoint(timeS float64, nextID int64, digest string) error {
 		return err
 	}
 	s.j, s.snap, s.tail = j, snap, nil
+	s.armJournalHookLocked()
 	return nil
 }
 

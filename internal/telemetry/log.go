@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig shapes the shared slog handler every binary uses, so one
+// flag surface (-log-level, -log-json) yields the same output shape
+// from merynd, meryn and meryn-load.
+type LogConfig struct {
+	Level string // debug, info, warn, error (default info)
+	JSON  bool   // JSON handler instead of logfmt-style text
+	Quiet bool   // raise the floor to error — the CLI's -q
+}
+
+// ParseLevel maps a level name to a slog.Level (default Info).
+func ParseLevel(s string) (slog.Level, bool) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, true
+	case "debug":
+		return slog.LevelDebug, true
+	case "warn", "warning":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	default:
+		return slog.LevelInfo, false
+	}
+}
+
+// NewLogger builds the shared structured logger. Unknown level names
+// fall back to info rather than failing the boot.
+func NewLogger(w io.Writer, cfg LogConfig) *slog.Logger {
+	level, _ := ParseLevel(cfg.Level)
+	if cfg.Quiet {
+		level = slog.LevelError
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

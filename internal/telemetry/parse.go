@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition format — the inverse of
+// Registry.WriteText, used by meryn-load to read the server's own
+// histograms back and cross-check them against client-side
+// measurements. Comment and blank lines are skipped; a malformed
+// sample line is an error.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("telemetry: unterminated label set: %s", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("telemetry: %v in %s", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("telemetry: malformed sample: %s", line)
+		}
+		s.Name, rest = fields[0], fields[1]
+	}
+	v, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return s, fmt.Errorf("telemetry: bad value in %s: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without value %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		body = body[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[i])
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(body) {
+			return fmt.Errorf("unterminated value for %q", key)
+		}
+		into[key] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(body[i+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	UpperBound float64 // le
+	Count      float64 // cumulative
+}
+
+// HistogramBuckets collects and merges the _bucket samples of one
+// histogram family across every series (label sets other than le are
+// summed), returning cumulative buckets sorted by bound. The +Inf
+// bucket is always last.
+func HistogramBuckets(samples []Sample, name string) []Bucket {
+	byLE := map[float64]float64{}
+	for _, s := range samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		byLE[le] += s.Value
+	}
+	out := make([]Bucket, 0, len(byLE))
+	for le, c := range byLE {
+		out = append(out, Bucket{UpperBound: le, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpperBound < out[j].UpperBound })
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) from cumulative buckets the
+// way Prometheus' histogram_quantile does: find the bucket the target
+// rank lands in and interpolate linearly inside it. Returns NaN when
+// the histogram is empty; the +Inf bucket clamps to the highest finite
+// bound.
+func Quantile(q float64, buckets []Bucket) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	prevBound, prevCount := 0.0, 0.0
+	for _, b := range buckets {
+		if b.Count >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return prevBound // no upper edge to interpolate toward
+			}
+			if b.Count == prevCount {
+				return b.UpperBound
+			}
+			return prevBound + (b.UpperBound-prevBound)*(rank-prevCount)/(b.Count-prevCount)
+		}
+		prevBound, prevCount = b.UpperBound, b.Count
+	}
+	return prevBound
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseText: comments skipped, labels decoded, +Inf handled,
+// malformed lines rejected.
+func TestParseText(t *testing.T) {
+	in := `# HELP x_total help text
+# TYPE x_total counter
+x_total{route="/v1/apps",code="200"} 12
+x_total{route="/v1/apps",code="429"} 3
+plain_gauge 1.5
+h_bucket{le="+Inf"} 9
+`
+	samples, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("parsed %d samples, want 4", len(samples))
+	}
+	if samples[0].Name != "x_total" || samples[0].Labels["code"] != "200" || samples[0].Value != 12 {
+		t.Errorf("sample 0 = %+v", samples[0])
+	}
+	if samples[2].Name != "plain_gauge" || samples[2].Value != 1.5 {
+		t.Errorf("sample 2 = %+v", samples[2])
+	}
+	if !math.IsInf(mustParseLE(t, samples[3].Labels["le"]), 1) {
+		t.Errorf("+Inf le not parsed: %+v", samples[3])
+	}
+
+	for _, bad := range []string{
+		"no_value\n",
+		`broken{le="1` + "\n",
+		"nan_value not-a-number\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func mustParseLE(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := parseValue(s)
+	if err != nil {
+		t.Fatalf("parseValue(%q): %v", s, err)
+	}
+	return v
+}
+
+// TestHistogramBucketsMerge: _bucket series from several routes sum
+// into one cumulative set ordered by bound.
+func TestHistogramBucketsMerge(t *testing.T) {
+	in := `lat_seconds_bucket{route="/a",le="0.1"} 1
+lat_seconds_bucket{route="/a",le="+Inf"} 2
+lat_seconds_bucket{route="/b",le="0.1"} 3
+lat_seconds_bucket{route="/b",le="+Inf"} 4
+other_bucket{le="0.1"} 99
+lat_seconds_sum{route="/a"} 1.0
+`
+	samples, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := HistogramBuckets(samples, "lat_seconds")
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2: %+v", len(buckets), buckets)
+	}
+	if buckets[0].UpperBound != 0.1 || buckets[0].Count != 4 {
+		t.Errorf("bucket 0 = %+v, want {0.1 4}", buckets[0])
+	}
+	if !math.IsInf(buckets[1].UpperBound, 1) || buckets[1].Count != 6 {
+		t.Errorf("bucket 1 = %+v, want {+Inf 6}", buckets[1])
+	}
+}
+
+// TestRoundTripRegistryToQuantile: render a live histogram, parse it
+// back, and check the estimated quantile lands in the right bucket.
+func TestRoundTripRegistryToQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("rt_seconds", "rt", []float64{0.01, 0.1, 1}, "route")
+	for i := 0; i < 90; i++ {
+		h.With("/a").Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.With("/b").Observe(0.5)
+	}
+	samples, err := ParseText(strings.NewReader(r.Render()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := HistogramBuckets(samples, "rt_seconds")
+	p50 := Quantile(0.5, buckets)
+	if p50 <= 0 || p50 > 0.01 {
+		t.Errorf("p50 = %g, want within (0, 0.01]", p50)
+	}
+	p95 := Quantile(0.95, buckets)
+	if p95 <= 0.1 || p95 > 1 {
+		t.Errorf("p95 = %g, want within (0.1, 1]", p95)
+	}
+}

@@ -1,0 +1,423 @@
+// Package telemetry is the control plane's observability substrate,
+// stdlib-only like the rest of the repo: a Prometheus-text-format
+// metrics registry (counters, gauges, histograms), structured logging
+// helpers over log/slog, and lightweight span-style request tracing
+// (request IDs, X-Request-ID propagation, timed spans).
+//
+// The registry renders the exposition format Prometheus scrapes:
+//
+//	# HELP meryn_http_requests_total HTTP requests served.
+//	# TYPE meryn_http_requests_total counter
+//	meryn_http_requests_total{code="200",method="GET",route="/healthz"} 4
+//
+// Output is deterministic — families sort by name, series by label
+// signature — so tests and diffs are stable. All instruments are safe
+// for concurrent use (lock-free atomics on the hot paths).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default histogram bucketing for request and I/O
+// latencies, in seconds: 500µs to 10s, roughly logarithmic.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// atomicFloat is a float64 updated with CAS on its bit pattern, so
+// counters and gauges stay lock-free under concurrent increments.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(d float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter; negative deltas are a programming error
+// and panic (a counter only goes up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("telemetry: counter decremented")
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add shifts the value by d (negative is fine).
+func (g *Gauge) Add(d float64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram accumulates observations into cumulative buckets. The
+// upper bounds are fixed at construction; an implicit +Inf bucket
+// catches the overflow. Observe is lock-free.
+type Histogram struct {
+	upper  []float64       // sorted ascending, +Inf excluded
+	counts []atomic.Uint64 // per-bucket (non-cumulative); last is +Inf
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≈15); linear scan beats binary search here.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// series is one labeled instance within a family.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// family is one named metric and all its labeled series.
+type family struct {
+	name    string
+	help    string
+	typ     string // counter, gauge, histogram
+	labels  []string
+	buckets []float64      // histograms only
+	fn      func() float64 // GaugeFunc only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // insertion order; sorted at render
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s: %d label values for %d labels (%v)",
+			f.name, len(labelValues), len(f.labels), f.labels))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		switch f.typ {
+		case "counter":
+			s.c = &Counter{}
+		case "gauge":
+			s.g = &Gauge{}
+		case "histogram":
+			s.h = &Histogram{
+				upper:  f.buckets,
+				counts: make([]atomic.Uint64, len(f.buckets)+1),
+			}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for the label values.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).c }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns (creating on first use) the gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// With returns (creating on first use) the histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	mustValidName(name)
+	for _, l := range labels {
+		mustValidName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic("telemetry: duplicate metric " + name)
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*series),
+	}
+	if typ == "histogram" {
+		if len(buckets) == 0 {
+			buckets = LatencyBuckets
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic("telemetry: histogram " + name + ": buckets not strictly increasing")
+			}
+		}
+		f.buckets = append([]float64(nil), buckets...)
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", nil, nil).get(nil).c
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", nil, nil).get(nil).g
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read by fn at scrape time —
+// the bridge from state that already lives elsewhere (session counters,
+// engine tick totals) into the exposition without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, nil).fn = fn
+}
+
+// Histogram registers an unlabeled histogram. Nil buckets means
+// LatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, "histogram", nil, buckets).get(nil).h
+}
+
+// HistogramVec registers a histogram family with the given label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, "histogram", labels, buckets)}
+}
+
+// OnScrape registers a hook that runs before each render — the place to
+// refresh gauges that mirror state owned by another subsystem.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// WriteText renders every family in Prometheus text exposition format,
+// families sorted by name and series by label signature.
+func (r *Registry) WriteText(w *strings.Builder) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// Render returns the full exposition as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler serves the exposition — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		f.mu.Lock()
+		s := f.series[key]
+		f.mu.Unlock()
+		switch f.typ {
+		case "counter":
+			writeSample(b, f.name, f.labels, s.labelValues, "", "", s.c.Value())
+		case "gauge":
+			v := s.g.Value()
+			if f.fn != nil {
+				v = f.fn()
+			}
+			writeSample(b, f.name, f.labels, s.labelValues, "", "", v)
+		case "histogram":
+			cum := uint64(0)
+			for i, ub := range s.h.upper {
+				cum += s.h.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(ub), float64(cum))
+			}
+			cum += s.h.counts[len(s.h.upper)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", float64(cum))
+			writeSample(b, f.name+"_sum", f.labels, s.labelValues, "", "", s.h.Sum())
+			writeSample(b, f.name+"_count", f.labels, s.labelValues, "", "", float64(s.h.Count()))
+		}
+	}
+	// A GaugeFunc has no series until read: synthesize its single sample.
+	if f.fn != nil && len(keys) == 0 {
+		writeSample(b, f.name, nil, nil, "", "", f.fn())
+	}
+}
+
+// writeSample emits one exposition line; extraK/extraV append the
+// histogram "le" label after the family's own labels.
+func writeSample(b *strings.Builder, name string, labels, values []string, extraK, extraV string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraK)
+			b.WriteString(`="`)
+			b.WriteString(extraV)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// mustValidName enforces the Prometheus metric/label name charset.
+func mustValidName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric or label name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic("telemetry: invalid metric or label name " + strconv.Quote(name))
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeRender: basic sample lines, value formatting, HELP
+// and TYPE headers.
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A counter.")
+	c.Inc()
+	c.Add(2.5)
+	g := r.Gauge("test_gauge", "A gauge.")
+	g.Set(4)
+	g.Dec()
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP test_total A counter.\n",
+		"# TYPE test_total counter\n",
+		"test_total 3.5\n",
+		"# TYPE test_gauge gauge\n",
+		"test_gauge 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// must be escaped per the exposition format; label-less series render
+// bare.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "Escapes.", "path")
+	v.With(`a"quote`).Inc()
+	v.With("a\\slash").Inc()
+	v.With("a\nnewline").Inc()
+	v.With("plain").Add(2)
+	out := r.Render()
+	for _, want := range []string{
+		`esc_total{path="a\"quote"} 1`,
+		`esc_total{path="a\\slash"} 1`,
+		`esc_total{path="a\nnewline"} 1`,
+		`esc_total{path="plain"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Round-trip: the parser must undo exactly what the encoder did.
+	samples, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Labels["path"]] = s.Value
+	}
+	for _, path := range []string{`a"quote`, `a\slash`, "a\nnewline"} {
+		if got[path] != 1 {
+			t.Errorf("parse round-trip lost label %q: %v", path, got)
+		}
+	}
+}
+
+// TestHistogramCumulative: buckets must render cumulatively, end in
+// +Inf, and agree with _sum and _count.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.05, 0.3, 0.7, 2.0} {
+		h.Observe(v)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="0.5"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 3.1`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// An observation exactly on a bound lands in that bucket (le is ≤).
+	h2 := r.Histogram("edge_seconds", "Edge.", []float64{1})
+	h2.Observe(1)
+	if out := r.Render(); !strings.Contains(out, `edge_seconds_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation fell through le=1:\n%s", out)
+	}
+}
+
+// TestDeterministicOrdering: families sort by name and series by label
+// signature regardless of registration or touch order, so scrapes are
+// diffable.
+func TestDeterministicOrdering(t *testing.T) {
+	build := func(touchOrder []string) string {
+		r := NewRegistry()
+		r.Counter("zzz_total", "Last family.").Inc()
+		v := r.CounterVec("aaa_total", "First family.", "route")
+		for _, route := range touchOrder {
+			v.With(route).Inc()
+		}
+		r.Gauge("mmm_gauge", "Middle.").Set(1)
+		return r.Render()
+	}
+	a := build([]string{"/b", "/a", "/c"})
+	b := build([]string{"/c", "/b", "/a"})
+	if a != b {
+		t.Fatalf("series touch order changed the rendering:\n--- a\n%s--- b\n%s", a, b)
+	}
+	iA := strings.Index(a, "aaa_total")
+	iM := strings.Index(a, "mmm_gauge")
+	iZ := strings.Index(a, "zzz_total")
+	if !(iA < iM && iM < iZ) {
+		t.Fatalf("families not sorted by name:\n%s", a)
+	}
+	if strings.Index(a, `route="/a"`) > strings.Index(a, `route="/b"`) {
+		t.Fatalf("series not sorted by label value:\n%s", a)
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines — under -race this doubles as the
+// data-race proof — and checks nothing was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	g := r.Gauge("conc_gauge", "g")
+	h := r.Histogram("conc_seconds", "h", []float64{0.5})
+	v := r.CounterVec("conc_vec_total", "v", "worker")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				v.With(lbl).Inc()
+				if i%3 == 0 {
+					_ = r.Render() // render concurrently with writes
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %g, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != per {
+			t.Errorf("vec[%d] = %g, want %d", w, got, per)
+		}
+	}
+}
+
+// TestGaugeFunc: scrape-time evaluation reflects the source at render.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.GaugeFunc("live_gauge", "Read at scrape.", func() float64 { return n })
+	n = 7
+	if out := r.Render(); !strings.Contains(out, "live_gauge 7\n") {
+		t.Errorf("gauge func not read at scrape:\n%s", out)
+	}
+	n = 9
+	if out := r.Render(); !strings.Contains(out, "live_gauge 9\n") {
+		t.Errorf("gauge func stale:\n%s", out)
+	}
+}
+
+// TestOnScrape: hooks run before rendering so mirrored gauges are
+// fresh.
+func TestOnScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hooked_gauge", "Refreshed by hook.")
+	src := 0.0
+	r.OnScrape(func() { g.Set(src) })
+	src = 42
+	if out := r.Render(); !strings.Contains(out, "hooked_gauge 42\n") {
+		t.Errorf("scrape hook did not refresh gauge:\n%s", out)
+	}
+}
+
+// TestRegistryPanics: misuse is a programming error, caught loudly.
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	mustPanic("duplicate registration", func() { r.Counter("dup_total", "x") })
+	mustPanic("bad metric name", func() { r.Counter("bad-name", "x") })
+	mustPanic("bad label name", func() { r.CounterVec("ok_total", "x", "bad label") })
+	mustPanic("label arity", func() { r.CounterVec("vec_total", "x", "a", "b").With("only-one") })
+	mustPanic("negative counter add", func() { r.Counter("neg_total", "x").Add(-1) })
+	mustPanic("unsorted buckets", func() { r.Histogram("hb_seconds", "x", []float64{1, 1}) })
+}
+
+// TestQuantileFromBuckets: interpolation, clamping at +Inf, emptiness.
+func TestQuantileFromBuckets(t *testing.T) {
+	buckets := []Bucket{
+		{UpperBound: 0.1, Count: 50},
+		{UpperBound: 0.2, Count: 100},
+		{UpperBound: math.Inf(1), Count: 100},
+	}
+	if got := Quantile(0.5, buckets); got != 0.1 {
+		t.Errorf("p50 = %g, want 0.1", got)
+	}
+	if got := Quantile(0.75, buckets); math.Abs(got-0.15) > 1e-9 {
+		t.Errorf("p75 = %g, want 0.15", got)
+	}
+	overflow := []Bucket{
+		{UpperBound: 0.1, Count: 10},
+		{UpperBound: math.Inf(1), Count: 20},
+	}
+	if got := Quantile(0.99, overflow); got != 0.1 {
+		t.Errorf("p99 in +Inf bucket = %g, want clamp to 0.1", got)
+	}
+	if got := Quantile(0.5, nil); !math.IsNaN(got) {
+		t.Errorf("empty histogram p50 = %g, want NaN", got)
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header request IDs propagate through:
+// clients may send one; the server generates one otherwise and always
+// echoes it on the response — success or error — so a shed 429 or a
+// 500 can be matched to its access-log line.
+const RequestIDHeader = "X-Request-ID"
+
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a 16-hex-char random request ID (falling back
+// to a process-local counter if the entropy pool fails).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%08x", reqCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type ctxKey struct{}
+
+// ContextWithRequestID attaches a request ID to the context.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Span is a lightweight timed operation: start it, do the work, Finish.
+// Finishing logs one slog event carrying the span name, the request ID
+// (when the context has one) and the duration, and feeds the duration
+// into an optional histogram — tracing and the latency metric are the
+// same measurement.
+type Span struct {
+	ctx   context.Context
+	log   *slog.Logger
+	name  string
+	start time.Time
+	hist  *Histogram
+}
+
+// StartSpan opens a span. log may be nil (the span still times and
+// observes, it just doesn't emit the event).
+func StartSpan(ctx context.Context, log *slog.Logger, name string) *Span {
+	return &Span{ctx: ctx, log: log, name: name, start: time.Now()}
+}
+
+// ObserveInto routes the span's duration into h at Finish.
+func (s *Span) ObserveInto(h *Histogram) *Span {
+	s.hist = h
+	return s
+}
+
+// Finish closes the span, returning its duration. Extra attrs are
+// appended to the emitted slog event.
+func (s *Span) Finish(attrs ...slog.Attr) time.Duration {
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+	}
+	if s.log != nil {
+		all := make([]slog.Attr, 0, len(attrs)+2)
+		if id := RequestIDFrom(s.ctx); id != "" {
+			all = append(all, slog.String("request_id", id))
+		}
+		all = append(all, slog.Duration("duration", d))
+		all = append(all, attrs...)
+		s.log.LogAttrs(s.ctx, slog.LevelDebug, "span "+s.name, all...)
+	}
+	return d
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestNewRequestIDUnique: IDs must not collide and must be hex-shaped.
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q is not 16 chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestRequestIDContext round-trips through a context.
+func TestRequestIDContext(t *testing.T) {
+	ctx := ContextWithRequestID(context.Background(), "abc123")
+	if got := RequestIDFrom(ctx); got != "abc123" {
+		t.Fatalf("RequestIDFrom = %q, want abc123", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context yields %q, want \"\"", got)
+	}
+}
+
+// TestSpanFinish: the span logs its event with request ID and duration
+// and feeds the histogram.
+func TestSpanFinish(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{Level: "debug"})
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "s", []float64{10})
+
+	ctx := ContextWithRequestID(context.Background(), "rid-1")
+	d := StartSpan(ctx, log, "replay").ObserveInto(h).Finish(slog.Int("records", 3))
+	if d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram saw %d observations, want 1", h.Count())
+	}
+	out := buf.String()
+	for _, want := range []string{"span replay", "request_id=rid-1", "records=3", "duration="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span log missing %q: %s", want, out)
+		}
+	}
+}
+
+// TestLoggerLevels: -q wins over level, unknown levels fall back to
+// info, JSON mode emits JSON.
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{Level: "warn"})
+	log.Info("hidden")
+	log.Warn("shown")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("warn level filtering wrong: %s", out)
+	}
+
+	buf.Reset()
+	log = NewLogger(&buf, LogConfig{Level: "debug", Quiet: true})
+	log.Info("suppressed")
+	log.Error("kept")
+	if out := buf.String(); strings.Contains(out, "suppressed") || !strings.Contains(out, "kept") {
+		t.Errorf("quiet mode wrong: %s", out)
+	}
+
+	buf.Reset()
+	log = NewLogger(&buf, LogConfig{JSON: true})
+	log.Info("hello", "k", "v")
+	if out := buf.String(); !strings.HasPrefix(out, "{") || !strings.Contains(out, `"k":"v"`) {
+		t.Errorf("JSON handler output wrong: %s", out)
+	}
+
+	if _, ok := ParseLevel("verbose"); ok {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
