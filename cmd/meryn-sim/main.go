@@ -13,6 +13,7 @@
 //	meryn-sim -trace workload.csv       # replay a trace file
 //	meryn-sim -csv usage.csv            # dump usage series for plotting
 //	meryn-sim -services -svc-burst 2.5  # elastic latency-SLO services demo
+//	meryn-sim -serverless               # scale-to-zero functions + canary rollout demo
 //	meryn-sim -chaos                    # heavy fault campaign under the auditor
 //	meryn-sim -sweep default            # stock policy x load sweep
 //	meryn-sim -sweep "ia=4,5,7 reps=10" -workers 8 -json sweep.json
@@ -32,7 +33,9 @@ import (
 
 	"meryn"
 	"meryn/internal/chaos"
+	"meryn/internal/core"
 	"meryn/internal/exp"
+	"meryn/internal/framework/serverless"
 	"meryn/internal/metrics"
 	"meryn/internal/report"
 	"meryn/internal/sim"
@@ -65,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		svcLoad   = fs.Float64("svc-load", 1, "services demo: offered-load multiplier")
 		svcBurst  = fs.Float64("svc-burst", 2.5, "services demo: burst amplitude (1 = no bursts)")
 		svcPolicy = fs.String("svc-policy", "scaleout", "services demo: replica policy (noop or scaleout)")
+		fnDemo    = fs.Bool("serverless", false, "run the scale-to-zero functions + canary rollout demo instead of the batch workload")
+		fnGap     = fs.Float64("fn-gap", 240, "serverless demo: idle gap between active phases [s]")
+		fnCold    = fs.Float64("fn-cold", 5, "serverless demo: instance cold-start delay [s]")
+		fnConc    = fs.Float64("fn-conc", 2, "serverless demo: in-flight requests per instance")
 		chaosDemo = fs.Bool("chaos", false, "run a fault campaign under the invariant auditor instead of the batch workload")
 		chaosInt  = fs.String("chaos-intensity", "heavy", "chaos demo: campaign intensity (off, light or heavy)")
 		chaosPol  = fs.String("chaos-policy", "spot", "chaos demo: cloud lease policy (ondemand or spot)")
@@ -100,8 +107,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	sweepOnly := []string{"workers", "reps", "json"}
-	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy", "services", "svc-load", "svc-burst", "svc-policy", "chaos", "chaos-intensity", "chaos-policy"}
+	singleOnly := []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "chart", "csv", "hierarchy", "services", "svc-load", "svc-burst", "svc-policy", "serverless", "fn-gap", "fn-cold", "fn-conc", "chaos", "chaos-intensity", "chaos-policy"}
 	servicesOnly := []string{"svc-load", "svc-burst", "svc-policy"}
+	fnOnly := []string{"fn-gap", "fn-cold", "fn-conc"}
 	chaosOnly := []string{"chaos-intensity", "chaos-policy"}
 	if *sweepSpec == "" {
 		for _, name := range sweepOnly {
@@ -116,6 +124,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
+		if !*fnDemo {
+			for _, name := range fnOnly {
+				if set[name] {
+					return fail(fmt.Errorf("-%s only applies with -serverless", name))
+				}
+			}
+		}
 		if !*chaosDemo {
 			for _, name := range chaosOnly {
 				if set[name] {
@@ -123,8 +138,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
-		if *services && *chaosDemo {
-			return fail(errors.New("-services and -chaos select different demo scenarios; pick one"))
+		demos := 0
+		for _, on := range []bool{*services, *fnDemo, *chaosDemo} {
+			if on {
+				demos++
+			}
+		}
+		if demos > 1 {
+			return fail(errors.New("-services, -serverless and -chaos select different demo scenarios; pick one"))
 		}
 	} else {
 		for _, name := range singleOnly {
@@ -145,6 +166,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if err := runServicesDemo(stdout, *seed, *svcPolicy, *svcLoad, *svcBurst, *chart, *csvOut); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *fnDemo {
+		for _, name := range []string{"policy", "vc1-apps", "vc2-apps", "interarrival", "work", "trace", "hierarchy"} {
+			if set[name] {
+				return fail(fmt.Errorf("-%s does not apply with -serverless (use -fn-gap/-fn-cold/-fn-conc)", name))
+			}
+		}
+		if err := runServerlessDemo(stdout, *seed, *fnGap, *fnCold, *fnConc, *chart, *csvOut); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -267,6 +300,12 @@ func printCatalog(out io.Writer) {
 	fmt.Fprintf(out, "  policy replica policies             (default %v)\n", m.Policies)
 	fmt.Fprintf(out, "  burst  burst amplitude factors      (default %v)\n", m.Bursts)
 	fmt.Fprintf(out, "  reps   seed replications per cell   (default %d)\n", m.Reps)
+	sm := exp.DefaultServerlessMatrix()
+	fmt.Fprintln(out, "\nServerless grid axes (meryn-bench -exp serverless; single run: meryn-sim -serverless):")
+	fmt.Fprintf(out, "  gap    idle gaps between active phases [s]  (default %v)\n", sm.IdleGaps)
+	fmt.Fprintf(out, "  cold   instance boot delays [s]             (default %v)\n", sm.ColdStarts)
+	fmt.Fprintf(out, "  conc   concurrency targets per instance     (default %v)\n", sm.Concs)
+	fmt.Fprintf(out, "  reps   seed replications per cell           (default %d)\n", sm.Reps)
 	cm := exp.DefaultChaosMatrix()
 	fmt.Fprintln(out, "\nChaos grid axes (meryn-bench -exp chaos; single run: meryn-sim -chaos):")
 	fmt.Fprintf(out, "  intensity campaign intensity          (default %v)\n", cm.Intensities)
@@ -297,6 +336,76 @@ func runServicesDemo(out io.Writer, seed int64, policy string, load, burst float
 	if chart {
 		c := report.Chart{
 			Title:  "Used VMs over time (services demo)",
+			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
+			YLabel: "used VMs",
+		}
+		fmt.Fprintln(out)
+		if err := c.Render(out); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := writeCSV(csvOut, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nusage series written to %s\n", csvOut)
+	}
+	return nil
+}
+
+// runServerlessDemo executes one cell of the serverless scenario — four
+// scale-to-zero functions with idle-gap traffic, a mid-run canary
+// rollout (deploy v2, split 90/10, promote) and a batch stream beside
+// them — and prints the run summary, the scale-to-zero tallies and the
+// per-function revision table (traffic weights, routed requests, cold
+// starts).
+func runServerlessDemo(out io.Writer, seed int64, gap, cold, conc float64, chart bool, csvOut string) error {
+	var plat *core.Platform
+	s := exp.ServerlessScenario(exp.ServerlessScenarioConfig{
+		Seed: seed, IdleGapS: gap, ColdStartS: cold, ConcTarget: conc, Canary: true,
+	})
+	inner := s.Setup
+	s.Setup = func(p *core.Platform) {
+		if inner != nil {
+			inner(p)
+		}
+		plat = p
+	}
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serverless demo: gap=%gs cold=%gs conc=%g seed=%d\n\n", gap, cold, conc, seed)
+	if err := printSummary(out, res); err != nil {
+		return err
+	}
+	fnAgg := metrics.AggregateRecords(res.Ledger.ByType(string(workload.TypeServerless)))
+	fmt.Fprintf(out, "scale-to-zero: activations=%d zero-scales=%d cold-starts=%d (%.0f s boot delay charged) served=%.0f metered=%.0f units\n",
+		fnAgg.Activations, fnAgg.ZeroScales, fnAgg.ColdStarts, fnAgg.ColdStartDelayS, fnAgg.Served, fnAgg.Metered)
+	if plat != nil {
+		if cm, ok := plat.CM("fn1"); ok {
+			if fw, ok := cm.Framework().(*serverless.Serverless); ok {
+				fmt.Fprintln(out, "\nrevisions (canary: v2 deployed t=900, split 90/10 t=960, promoted t=1800):")
+				t := report.Table{Headers: []string{"function", "revision", "weight", "requests", "cold starts"}}
+				for _, rec := range res.Ledger.ByType(string(workload.TypeServerless)) {
+					revs, err := fw.Revisions(rec.ID)
+					if err != nil {
+						continue
+					}
+					for _, rv := range revs {
+						t.AddRow(rec.ID, rv.Name, fmt.Sprintf("%d", rv.Weight),
+							fmt.Sprintf("%.0f", rv.Requests), fmt.Sprintf("%d", rv.ColdStarts))
+					}
+				}
+				if err := t.Render(out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if chart {
+		c := report.Chart{
+			Title:  "Used VMs over time (serverless demo)",
 			Series: []*metrics.Series{res.PrivateSeries, res.CloudSeries},
 			YLabel: "used VMs",
 		}

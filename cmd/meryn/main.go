@@ -17,11 +17,15 @@
 //
 //	meryn submit -type batch -work 1550            # submit, print offers
 //	meryn submit -type batch -work 1550 -accept first -wait
+//	meryn submit -type serverless -rate 40 -svc-rate 10 -cold-start 8 -accept first
 //	meryn status app-0001                          # one submission
 //	meryn status                                   # all submissions
 //	meryn watch                                    # follow the event stream
 //	meryn vcs                                      # virtual clusters
 //	meryn metrics                                  # platform counters
+//	meryn revisions app-0001                       # serverless revision set
+//	meryn deploy-revision app-0001 v2              # stage a canary revision
+//	meryn set-traffic app-0001 v1=90 v2=10         # split traffic 90/10
 package main
 
 import (
@@ -34,10 +38,12 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"meryn/internal/api"
@@ -56,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wait := fs.Duration("retry-wait", 200*time.Millisecond, "base backoff; doubles per retry with jitter, capped at 5s")
 	quiet := fs.Bool("q", false, "quiet: suppress retry/progress logging")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: meryn [-addr URL] {submit|status|watch|vcs|metrics} [flags]")
+		fmt.Fprintln(stderr, "usage: meryn [-addr URL] {submit|status|watch|vcs|metrics|revisions|deploy-revision|set-traffic} [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +91,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.get("/v1/vcs")
 	case "metrics":
 		return c.get("/v1/metrics")
+	case "revisions":
+		if len(rest) != 2 {
+			fmt.Fprintln(stderr, "usage: meryn revisions <app-id>")
+			return 2
+		}
+		return c.get("/v1/apps/" + rest[1] + "/revisions")
+	case "deploy-revision":
+		return c.deployRevision(rest[1:])
+	case "set-traffic":
+		return c.setTraffic(rest[1:])
 	default:
 		fmt.Fprintf(stderr, "meryn: unknown command %q\n", rest[0])
 		fs.Usage()
@@ -228,7 +244,7 @@ func (c *client) submit(args []string) int {
 	fs.SetOutput(c.err)
 	var (
 		id      = fs.String("id", "", "application ID (client-generated when empty)")
-		typ     = fs.String("type", "batch", "application type: batch, mapreduce or service")
+		typ     = fs.String("type", "batch", "application type: batch, mapreduce, service or serverless")
 		vc      = fs.String("vc", "", "target VC (routed by type when empty)")
 		vms     = fs.Int("vms", 1, "VMs requested")
 		work    = fs.Float64("work", 1550, "work in reference CPU-seconds (batch)")
@@ -236,6 +252,16 @@ func (c *client) submit(args []string) int {
 		reds    = fs.Int("reduce-tasks", 0, "reduce tasks (mapreduce)")
 		mapW    = fs.Float64("map-work", 0, "reference seconds per map task")
 		redW    = fs.Float64("reduce-work", 0, "reference seconds per reduce task")
+		reps    = fs.Int("replicas", 0, "contracted replicas / instance ceiling (service, serverless; default ceil(rate/svc-rate))")
+		rate    = fs.Float64("rate", 0, "steady offered load in requests/s (service, serverless)")
+		svcRate = fs.Float64("svc-rate", 0, "requests/s one replica sustains (service, serverless)")
+		dur     = fs.Float64("duration", 0, "service lifetime in virtual seconds")
+		cold    = fs.Float64("cold-start", 0, "instance boot delay in seconds (serverless)")
+		conc    = fs.Float64("conc-target", 0, "in-flight requests per instance before scaling (serverless)")
+		idle    = fs.Float64("idle-window", 0, "idle seconds before scale-to-zero (serverless)")
+		rev     = fs.String("revision", "", "initial revision name (serverless)")
+		onP     = fs.Float64("on-off-period", 0, "on/off load gate period in seconds (serverless idle gaps)")
+		onA     = fs.Float64("on-off-active", 0, "active share of each on/off period, in seconds")
 		accept  = fs.String("accept", "none", "auto-respond to the offers: none, first or cheapest")
 		wait    = fs.Bool("wait", false, "poll until the application settles; exit 0 only on completed")
 		timeout = fs.Duration("timeout", 2*time.Minute, "give up on -wait after this long")
@@ -255,9 +281,17 @@ func (c *client) submit(args []string) int {
 	if *id == "" {
 		*id = newAppID()
 	}
+	if *reps == 0 && (*typ == "service" || *typ == "serverless") && *rate > 0 && *svcRate > 0 {
+		*reps = int(math.Ceil(*rate / *svcRate))
+	}
 	app := api.App{
 		ID: *id, Type: *typ, VC: *vc, VMs: *vms, WorkS: *work,
 		MapTasks: *maps, ReduceTasks: *reds, MapWorkS: *mapW, ReduceWorkS: *redW,
+		Replicas: *reps, SvcRate: *svcRate, DurationS: *dur,
+		ColdStartS: *cold, ConcTarget: *conc, IdleWindowS: *idle, Revision: *rev,
+	}
+	if *rate > 0 {
+		app.Load = &api.Load{Base: *rate, OnOffPeriodS: *onP, OnOffActiveS: *onA}
 	}
 	var st api.AppStatus
 	if err := c.call(http.MethodPost, "/v1/apps", app, &st); err != nil {
@@ -316,6 +350,61 @@ func (c *client) submit(args []string) int {
 			return 3
 		}
 		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// deployRevision stages a new immutable revision (at weight zero) on a
+// serverless application and prints the resulting revision set.
+func (c *client) deployRevision(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(c.err, "usage: meryn deploy-revision <app-id> <revision-name>")
+		return 2
+	}
+	var revs []api.Revision
+	if err := c.call(http.MethodPost, "/v1/apps/"+args[0]+"/revisions",
+		api.DeployRevisionRequest{Name: args[1]}, &revs); err != nil {
+		fmt.Fprintln(c.err, "meryn:", err)
+		return 1
+	}
+	printRevisions(c.out, revs)
+	return 0
+}
+
+// setTraffic reassigns traffic weights, given as name=weight arguments
+// (e.g. "v1=90 v2=10"), and prints the resulting revision set.
+func (c *client) setTraffic(args []string) int {
+	if len(args) < 2 {
+		fmt.Fprintln(c.err, "usage: meryn set-traffic <app-id> <rev>=<weight> [<rev>=<weight>...]")
+		return 2
+	}
+	weights := make(map[string]int)
+	for _, kv := range args[1:] {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok || name == "" {
+			fmt.Fprintf(c.err, "meryn: malformed weight %q (want rev=weight)\n", kv)
+			return 2
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil {
+			fmt.Fprintf(c.err, "meryn: malformed weight %q: %v\n", kv, err)
+			return 2
+		}
+		weights[name] = w
+	}
+	var revs []api.Revision
+	if err := c.call(http.MethodPost, "/v1/apps/"+args[0]+"/traffic",
+		api.TrafficSplitRequest{Weights: weights}, &revs); err != nil {
+		fmt.Fprintln(c.err, "meryn:", err)
+		return 1
+	}
+	printRevisions(c.out, revs)
+	return 0
+}
+
+func printRevisions(out io.Writer, revs []api.Revision) {
+	for _, r := range revs {
+		fmt.Fprintf(out, "%-12s weight=%-3d instances=%-3d requests=%-8.0f cold_starts=%d\n",
+			r.Name, r.Weight, r.Instances, r.Requests, r.ColdStarts)
 	}
 }
 

@@ -272,3 +272,48 @@ func TestWatchRoutesThroughRetry(t *testing.T) {
 		t.Fatalf("streamed %d events, want 2:\n%s", got, out.String())
 	}
 }
+
+// TestSubmitDefaultsReplicas: a serverless submission without -replicas
+// derives the instance ceiling from ceil(rate/svc-rate), so the README
+// quickstart works as written; an explicit -replicas wins.
+func TestSubmitDefaultsReplicas(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var app api.App
+		if err := json.NewDecoder(r.Body).Decode(&app); err != nil {
+			t.Error(err)
+		}
+		mu.Lock()
+		got = append(got, app.Replicas)
+		mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(api.AppStatus{ID: app.ID, Phase: "negotiating"})
+	}))
+	defer ts.Close()
+
+	cases := [][]string{
+		{"submit", "-type", "serverless", "-rate", "40", "-svc-rate", "10", "-duration", "600"},
+		{"submit", "-type", "serverless", "-rate", "45", "-svc-rate", "10", "-duration", "600"},
+		{"submit", "-type", "service", "-rate", "40", "-svc-rate", "10", "-duration", "600"},
+		{"submit", "-type", "serverless", "-replicas", "2", "-rate", "40", "-svc-rate", "10", "-duration", "600"},
+		{"submit", "-type", "batch", "-work", "600"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(append([]string{"-addr", ts.URL}, args...), &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d\n%s", args, code, errOut.String())
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{4, 5, 4, 2, 0}
+	if len(got) != len(want) {
+		t.Fatalf("replicas = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("case %d: replicas = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}

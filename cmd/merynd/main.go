@@ -26,6 +26,7 @@
 //	merynd -mode wall -speed 60             # scaled wall-clock time
 //	merynd -policy static -seed 7
 //	merynd -state-dir /var/lib/meryn        # durable journal + snapshots
+//	merynd -vcs "fn1:serverless:12,vc1:batch:25"   # custom virtual clusters
 package main
 
 import (
@@ -38,6 +39,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +54,37 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// parseVCs parses the -vcs flag: comma-separated name:type:vms triples,
+// e.g. "fn1:serverless:12,vc1:batch:25".
+func parseVCs(spec string) ([]meryn.VCConfig, error) {
+	var vcs []meryn.VCConfig
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 || fields[0] == "" {
+			return nil, fmt.Errorf("bad VC spec %q (want name:type:vms)", part)
+		}
+		var typ meryn.AppType
+		switch fields[1] {
+		case "batch":
+			typ = meryn.TypeBatch
+		case "mapreduce":
+			typ = meryn.TypeMapReduce
+		case "service":
+			typ = meryn.TypeService
+		case "serverless":
+			typ = meryn.TypeServerless
+		default:
+			return nil, fmt.Errorf("unknown VC type %q in %q (want batch, mapreduce, service or serverless)", fields[1], part)
+		}
+		vms, err := strconv.Atoi(fields[2])
+		if err != nil || vms <= 0 {
+			return nil, fmt.Errorf("bad VM count %q in %q", fields[2], part)
+		}
+		vcs = append(vcs, meryn.VCConfig{Name: fields[0], Type: typ, InitialVMs: vms})
+	}
+	return vcs, nil
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("merynd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -60,6 +94,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		mode     = fs.String("mode", "virtual", "time mode: virtual (fast-forward) or wall (scaled wall-clock)")
 		speed    = fs.Float64("speed", 60, "wall mode: virtual seconds per wall second")
 		policy   = fs.String("policy", "meryn", "resource policy: meryn or static")
+		vcSpec   = fs.String("vcs", "", "virtual clusters as name:type:vms[,...] (types: batch, mapreduce, service, serverless; empty keeps the paper's two batch VCs)")
 		seed     = fs.Int64("seed", 1, "RNG seed")
 		stateDir = fs.String("state-dir", "", "durable state directory (journal + snapshots); empty disables persistence")
 		snapN    = fs.Int("snapshot-every", 64, "checkpoint the state dir after this many journal records")
@@ -86,6 +121,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	default:
 		fmt.Fprintf(stderr, "merynd: unknown policy %q\n", *policy)
 		return 1
+	}
+	if *vcSpec != "" {
+		vcs, err := parseVCs(*vcSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "merynd: %v\n", err)
+			return 1
+		}
+		cfg.VCs = vcs
 	}
 	if *mode != "virtual" && *mode != "wall" {
 		fmt.Fprintf(stderr, "merynd: unknown mode %q (want virtual or wall)\n", *mode)

@@ -238,6 +238,89 @@ func TestGracefulShutdownSealsState(t *testing.T) {
 	}
 }
 
+func TestParseVCs(t *testing.T) {
+	vcs, err := parseVCs("fn1:serverless:12, vc1:batch:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcs) != 2 || vcs[0].Name != "fn1" || string(vcs[0].Type) != "serverless" ||
+		vcs[0].InitialVMs != 12 || vcs[1].Name != "vc1" || vcs[1].InitialVMs != 25 {
+		t.Fatalf("parsed %+v", vcs)
+	}
+	for _, bad := range []string{"", "fn1", "fn1:serverless", "fn1:faas:8", ":batch:8", "fn1:batch:-1", "fn1:batch:x"} {
+		if _, err := parseVCs(bad); err == nil {
+			t.Errorf("parseVCs(%q) accepted", bad)
+		}
+	}
+}
+
+// TestServerlessVCFlagEndToEnd boots the daemon with a serverless VC
+// (-vcs) in wall mode — so an accepted function stays mid-flight —
+// and drives the full CLI surface over HTTP: negotiate, accept, deploy
+// a canary revision, split traffic 90/10, read the revision set back.
+func TestServerlessVCFlagEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the daemon; skipped with -short")
+	}
+	bin := buildMerynd(t)
+	d := startDaemon(t, bin, "-mode", "wall", "-speed", "60", "-vcs", "fn1:serverless:8,vc1:batch:10")
+
+	code, raw := d.post(t, "/v1/apps", map[string]any{
+		"id": "fn-demo", "type": "serverless", "vc": "fn1",
+		"replicas": 2, "svc_rate": 10.0, "duration_s": 3600.0,
+		"cold_start_s": 5.0, "declared_peak": 8.0,
+		"load": map[string]any{"base": 8.0},
+	})
+	if code != http.StatusCreated && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	var st appView
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Offers) == 0 {
+		t.Fatalf("no offers: %s", raw)
+	}
+	if code, raw := d.post(t, "/v1/apps/fn-demo/accept", map[string]int{"offer_index": 0}); code != http.StatusOK {
+		t.Fatalf("accept: %d %s", code, raw)
+	}
+
+	// The function launches at its negotiated start; retry the deploy
+	// until the job exists (processing latency is ~1.4 real seconds at
+	// -speed 60).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, raw = d.post(t, "/v1/apps/fn-demo/revisions", map[string]string{"name": "v2"})
+		if code == http.StatusCreated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deploy v2 never succeeded: %d %s", code, raw)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// A retried deploy converges without error.
+	if code, raw := d.post(t, "/v1/apps/fn-demo/revisions", map[string]string{"name": "v2"}); code != http.StatusOK {
+		t.Fatalf("retried deploy: %d %s", code, raw)
+	}
+	if code, raw := d.post(t, "/v1/apps/fn-demo/traffic", map[string]any{
+		"weights": map[string]int{"rev-1": 90, "v2": 10},
+	}); code != http.StatusOK {
+		t.Fatalf("set traffic: %d %s", code, raw)
+	}
+	var revs []struct {
+		Name   string `json:"name"`
+		Weight int    `json:"weight"`
+	}
+	if err := json.Unmarshal(d.get(t, "/v1/apps/fn-demo/revisions"), &revs); err != nil {
+		t.Fatal(err)
+	}
+	if len(revs) != 2 || revs[0].Name != "rev-1" || revs[0].Weight != 90 ||
+		revs[1].Name != "v2" || revs[1].Weight != 10 {
+		t.Fatalf("revision set = %+v, want rev-1@90 v2@10", revs)
+	}
+}
+
 // TestHealthzReportsMode is a cheap sanity check that the daemon refuses
 // bad flags and reports where it listens.
 func TestBadFlags(t *testing.T) {
@@ -249,6 +332,10 @@ func TestBadFlags(t *testing.T) {
 		{"-mode", "warp"},
 		{"-policy", "chaos"},
 		{"-mode", "wall", "-speed", "-1"},
+		{"-vcs", "fn1:faas:8"},
+		{"-vcs", "fn1:serverless"},
+		{"-vcs", ":serverless:8"},
+		{"-vcs", "fn1:serverless:0"},
 	} {
 		cmd := exec.Command(bin, args...)
 		out, err := cmd.CombinedOutput()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"meryn/internal/core"
+	"meryn/internal/framework/serverless"
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
 	"meryn/internal/sla"
@@ -45,6 +46,13 @@ type App struct {
 	DurationS    float64 `json:"duration_s,omitempty"`
 	DeclaredPeak float64 `json:"declared_peak,omitempty"`
 	Load         *Load   `json:"load,omitempty"`
+
+	// Serverless shape (extends the service shape: Replicas is the
+	// instance ceiling, SvcRate the per-instance capacity).
+	ColdStartS  float64 `json:"cold_start_s,omitempty"`  // boot delay per instance
+	ConcTarget  float64 `json:"conc_target,omitempty"`   // in-flight requests per instance
+	IdleWindowS float64 `json:"idle_window_s,omitempty"` // idle seconds before scale-to-zero
+	Revision    string  `json:"revision,omitempty"`      // initial revision name
 }
 
 // Load is the wire form of a service's offered-load profile.
@@ -55,6 +63,12 @@ type Load struct {
 		DurationS float64 `json:"duration_s"`
 		Factor    float64 `json:"factor"`
 	} `json:"bursts,omitempty"`
+
+	// On/off square wave gating the profile (idle-gap traffic for
+	// serverless applications): active for OnOffActiveS out of every
+	// OnOffPeriodS seconds. Zero period means always on.
+	OnOffPeriodS float64 `json:"on_off_period_s,omitempty"`
+	OnOffActiveS float64 `json:"on_off_active_s,omitempty"`
 }
 
 // ToWorkload validates the DTO and converts it to the internal
@@ -62,7 +76,7 @@ type Load struct {
 func (a App) ToWorkload() (workload.App, error) {
 	t := workload.AppType(a.Type)
 	switch t {
-	case workload.TypeBatch, workload.TypeMapReduce, workload.TypeService:
+	case workload.TypeBatch, workload.TypeMapReduce, workload.TypeService, workload.TypeServerless:
 	case "":
 		return workload.App{}, fmt.Errorf("api: submission without a type")
 	default:
@@ -83,6 +97,10 @@ func (a App) ToWorkload() (workload.App, error) {
 		SvcRate:      a.SvcRate,
 		DurationS:    a.DurationS,
 		DeclaredPeak: a.DeclaredPeak,
+		ColdStartS:   a.ColdStartS,
+		ConcTarget:   a.ConcTarget,
+		IdleWindowS:  a.IdleWindowS,
+		Revision:     a.Revision,
 	}
 	if a.Load != nil {
 		lp := &workload.LoadProfile{Base: a.Load.Base}
@@ -92,6 +110,12 @@ func (a App) ToWorkload() (workload.App, error) {
 				Duration: sim.Seconds(b.DurationS),
 				Factor:   b.Factor,
 			})
+		}
+		if a.Load.OnOffPeriodS > 0 {
+			lp.OnOff = &workload.OnOff{
+				Period: sim.Seconds(a.Load.OnOffPeriodS),
+				Active: sim.Seconds(a.Load.OnOffActiveS),
+			}
 		}
 		w.Load = lp
 	}
@@ -117,6 +141,10 @@ func FromWorkload(w workload.App) App {
 		SvcRate:      w.SvcRate,
 		DurationS:    w.DurationS,
 		DeclaredPeak: w.DeclaredPeak,
+		ColdStartS:   w.ColdStartS,
+		ConcTarget:   w.ConcTarget,
+		IdleWindowS:  w.IdleWindowS,
+		Revision:     w.Revision,
 	}
 	if w.Load != nil {
 		l := &Load{Base: w.Load.Base}
@@ -126,6 +154,10 @@ func FromWorkload(w workload.App) App {
 				DurationS float64 `json:"duration_s"`
 				Factor    float64 `json:"factor"`
 			}{sim.ToSeconds(b.At), sim.ToSeconds(b.Duration), b.Factor})
+		}
+		if w.Load.OnOff != nil {
+			l.OnOffPeriodS = sim.ToSeconds(w.Load.OnOff.Period)
+			l.OnOffActiveS = sim.ToSeconds(w.Load.OnOff.Active)
 		}
 		a.Load = l
 	}
@@ -167,6 +199,12 @@ type Contract struct {
 
 	// Service SLO terms (present for service contracts only).
 	SLO *SLO `json:"slo,omitempty"`
+
+	// Per-invocation terms (serverless contracts only): the metered
+	// charge per served request and the spend ceiling the quote doubles
+	// as.
+	PerInvocation float64 `json:"per_invocation,omitempty"`
+	CostCap       float64 `json:"cost_cap,omitempty"`
 }
 
 // SLO is the latency/availability objective of a service contract on
@@ -191,6 +229,9 @@ func ContractFromSLA(c *sla.Contract) *Contract {
 		VMPrice:   c.VMPrice,
 		ExecEstS:  sim.ToSeconds(c.ExecEst),
 		PenaltyN:  c.PenaltyN,
+
+		PerInvocation: c.PerInvocation,
+		CostCap:       c.CostCap,
 	}
 	if c.SLO != nil {
 		out.SLO = &SLO{
@@ -332,8 +373,51 @@ func MetricsFrom(m core.PlatformMetrics) Metrics {
 			"spot_leases":        c.SpotLeases.Count,
 			"spot_revocations":   c.SpotRevocations.Count,
 			"spot_fallbacks":     c.SpotFallbacks.Count,
+			"cold_starts":        c.ColdStarts.Count,
+			"activations":        c.Activations.Count,
+			"zero_scales":        c.ZeroScales.Count,
+			"cost_cap_throttles": c.CostCapThrottles.Count,
+			"revision_deploys":   c.RevisionDeploys.Count,
+			"traffic_splits":     c.TrafficSplits.Count,
 		},
 	}
+}
+
+// Revision is the per-revision monitoring view of a serverless
+// application on the wire.
+type Revision struct {
+	Name       string  `json:"name"`
+	Weight     int     `json:"weight"`
+	Instances  int     `json:"instances"`
+	Requests   float64 `json:"requests"`
+	ColdStarts int     `json:"cold_starts"`
+	CreatedAtS float64 `json:"created_at_s"`
+}
+
+// RevisionsFrom converts the framework's revision stats.
+func RevisionsFrom(stats []serverless.RevisionStats) []Revision {
+	out := make([]Revision, len(stats))
+	for i, r := range stats {
+		out[i] = Revision{
+			Name:       r.Name,
+			Weight:     r.Weight,
+			Instances:  r.Instances,
+			Requests:   r.Requests,
+			ColdStarts: r.ColdStarts,
+			CreatedAtS: r.CreatedAtS,
+		}
+	}
+	return out
+}
+
+// DeployRevisionRequest is the POST /v1/apps/{id}/revisions body.
+type DeployRevisionRequest struct {
+	Name string `json:"name"`
+}
+
+// TrafficSplitRequest is the POST /v1/apps/{id}/traffic body.
+type TrafficSplitRequest struct {
+	Weights map[string]int `json:"weights"`
 }
 
 // Event is one session event on the wire (the NDJSON stream's line

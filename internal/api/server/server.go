@@ -186,9 +186,12 @@ func (s *Server) Handler() http.Handler {
 		"POST /v1/apps":              s.shed(s.submit),
 		"GET /v1/apps":               s.listApps,
 		"GET /v1/apps/{id}":          s.status,
-		"POST /v1/apps/{id}/accept":  s.shed(s.accept),
-		"POST /v1/apps/{id}/counter": s.shed(s.counter),
-		"POST /v1/apps/{id}/reject":  s.shed(s.reject),
+		"POST /v1/apps/{id}/accept":    s.shed(s.accept),
+		"POST /v1/apps/{id}/counter":   s.shed(s.counter),
+		"POST /v1/apps/{id}/reject":    s.shed(s.reject),
+		"POST /v1/apps/{id}/revisions": s.shed(s.deployRevision),
+		"GET /v1/apps/{id}/revisions":  s.revisions,
+		"POST /v1/apps/{id}/traffic":   s.shed(s.setTraffic),
 		"GET /v1/vcs":                s.vcs,
 		"GET /v1/metrics":            s.metrics,
 		"GET /v1/events":             s.events,
@@ -512,6 +515,90 @@ func (s *Server) reject(w http.ResponseWriter, r *http.Request) {
 	s.mutated()
 	st, _ := s.sess.Status(id)
 	writeJSON(w, http.StatusOK, api.StatusFrom(st))
+}
+
+// deployRevision registers a new immutable revision (at traffic weight
+// zero) for a serverless application, journaled ahead of the apply like
+// every mutation. A retried deploy whose first try landed finds the
+// revision already present and converges on the current revision set.
+func (s *Server) deployRevision(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req api.DeployRevisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "revision name is required")
+		return
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if revs, err := s.sess.Revisions(id); err == nil {
+		for _, rv := range revs {
+			if rv.Name == req.Name {
+				writeJSON(w, http.StatusOK, api.RevisionsFrom(revs))
+				return
+			}
+		}
+	}
+	if err := s.journal(durable.Record{
+		TimeS: sim.ToSeconds(s.sess.Now()), Kind: durable.KindDeployRevision,
+		AppID: id, Revision: req.Name,
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
+		return
+	}
+	if err := s.sess.DeployRevision(id, req.Name); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.mutated()
+	revs, _ := s.sess.Revisions(id)
+	writeJSON(w, http.StatusCreated, api.RevisionsFrom(revs))
+}
+
+// setTraffic reassigns traffic weights across a serverless
+// application's revisions (canary, promote, roll back). Re-applying the
+// same weights is naturally idempotent, so retries converge.
+func (s *Server) setTraffic(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req api.TrafficSplitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Weights) == 0 {
+		writeErr(w, http.StatusBadRequest, "weights are required")
+		return
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := s.journal(durable.Record{
+		TimeS: sim.ToSeconds(s.sess.Now()), Kind: durable.KindSetTraffic,
+		AppID: id, Weights: req.Weights,
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "journal write failed: %v", err)
+		return
+	}
+	if err := s.sess.SetTrafficSplit(id, req.Weights); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.mutated()
+	revs, _ := s.sess.Revisions(id)
+	writeJSON(w, http.StatusOK, api.RevisionsFrom(revs))
+}
+
+// revisions returns a serverless application's revision set: traffic
+// weights, pinned instances, routed requests and cold starts.
+func (s *Server) revisions(w http.ResponseWriter, r *http.Request) {
+	revs, err := s.sess.Revisions(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RevisionsFrom(revs))
 }
 
 func (s *Server) vcs(w http.ResponseWriter, _ *http.Request) {

@@ -74,6 +74,12 @@ func (s *Server) registerSessionGauges(reg *telemetry.Registry) {
 	cloudVMs := reg.Gauge("meryn_cloud_vms_in_use", "Cloud VMs currently attached to VCs.")
 	spend := reg.Gauge("meryn_cloud_spend_units", "Cumulative cloud spend in price units.")
 	vtime := reg.Gauge("meryn_virtual_time_seconds", "The platform's virtual clock.")
+	coldStarts := reg.Gauge("meryn_serverless_cold_starts", "Serverless instances booted from zero (cold starts).")
+	activations := reg.Gauge("meryn_serverless_activations", "Scale-from-zero activations across all functions.")
+	zeroScales := reg.Gauge("meryn_serverless_zero_scales", "Idle-window scale-to-zero transitions.")
+	capped := reg.Gauge("meryn_serverless_cost_cap_throttles", "Functions throttled after exhausting their invocation cost cap.")
+	deploys := reg.Gauge("meryn_serverless_revision_deploys", "Immutable revisions deployed.")
+	splits := reg.Gauge("meryn_serverless_traffic_splits", "Traffic-split reassignments applied.")
 	reg.OnScrape(func() {
 		m := s.sess.Metrics()
 		events.Set(float64(m.EventsFired))
@@ -85,6 +91,12 @@ func (s *Server) registerSessionGauges(reg *telemetry.Registry) {
 		cloudVMs.Set(float64(m.CloudUsed))
 		spend.Set(m.CloudSpend)
 		vtime.Set(m.Now.Seconds())
+		coldStarts.Set(float64(m.Counters.ColdStarts.Count))
+		activations.Set(float64(m.Counters.Activations.Count))
+		zeroScales.Set(float64(m.Counters.ZeroScales.Count))
+		capped.Set(float64(m.Counters.CostCapThrottles.Count))
+		deploys.Set(float64(m.Counters.RevisionDeploys.Count))
+		splits.Set(float64(m.Counters.TrafficSplits.Count))
 	})
 }
 

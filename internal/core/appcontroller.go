@@ -79,6 +79,10 @@ type AppController struct {
 	// enforcer fires once per pressure episode (armed on shortfall,
 	// disarmed when the target is met again).
 	sloArmed bool
+
+	// capped marks a serverless contract that exhausted its metered cost
+	// cap; the throttle fires once.
+	capped bool
 }
 
 // newAppController starts monitoring; the controller lives until the
@@ -97,7 +101,11 @@ func (ac *AppController) check() {
 		return
 	}
 	if st.contract.SLO != nil {
-		ac.checkService()
+		if ac.cm.serverlessFW() != nil {
+			ac.checkServerless()
+		} else {
+			ac.checkService()
+		}
 		return
 	}
 	now := ac.cm.p.Eng.Now()
@@ -187,6 +195,58 @@ func (ac *AppController) checkService() {
 	// Shortfall: the VC's free capacity could not cover the target. Ask
 	// the Enforcer to intervene (e.g. lease cloud VMs) once per episode,
 	// before the burn accrues further.
+	if !ac.sloArmed {
+		ac.sloArmed = true
+		cm.p.Counters.Projected.Inc()
+		cm.p.cfg.Enforcer.OnViolation(cm, id, true)
+	}
+}
+
+// checkServerless monitors one function. Unlike services, the framework
+// autoscales functions itself (concurrency target, panic mode, scale to
+// zero); the controller's jobs are folding the framework accounting into
+// the ledger, enforcing the metered cost cap, and escalating to the
+// Enforcer when the VC's free capacity cannot cover the fleet target
+// while the SLO burns.
+func (ac *AppController) checkServerless() {
+	cm := ac.cm
+	fw := cm.serverlessFW()
+	if fw == nil {
+		return
+	}
+	id := ac.st.app.ID
+	stats, err := fw.FunctionStats(id)
+	if err != nil {
+		return
+	}
+	cm.syncFunctionStats(ac.st.rec, stats)
+	if ac.st.job.State != framework.JobRunning {
+		// Queued or suspended: ticks with demand burn; placement machinery
+		// and victim resume own the recovery.
+		return
+	}
+
+	// Cost-cap throttle: once the metered spend reaches the contracted
+	// cap, clamp the autoscaler to a single instance — the function keeps
+	// serving (degraded) instead of surprise-billing past the quote.
+	c := ac.st.contract
+	if c.CostCap > 0 && c.PerInvocation > 0 && stats.Served*c.PerInvocation >= c.CostCap {
+		if !ac.capped {
+			ac.capped = true
+			cm.p.Counters.CostCapThrottles.Inc()
+			_ = fw.SetInstanceCap(id, 1)
+		}
+	}
+
+	if stats.Instances >= stats.Target {
+		ac.sloArmed = false
+		// Scale-in can strand idle cloud VMs; release them promptly.
+		cm.gcIdleCloud()
+		return
+	}
+	// Shortfall: the framework wants more instances than the free pool
+	// provided. Escalate once per pressure episode, before the cold
+	// backlog burns further intervals.
 	if !ac.sloArmed {
 		ac.sloArmed = true
 		cm.p.Counters.Projected.Inc()

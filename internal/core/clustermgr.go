@@ -7,6 +7,7 @@ import (
 	"meryn/internal/framework"
 	"meryn/internal/framework/batch"
 	"meryn/internal/framework/mapreduce"
+	"meryn/internal/framework/serverless"
 	"meryn/internal/framework/service"
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
@@ -175,6 +176,20 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 			Name: cfg.Name, Image: cfg.Name + ".img", Tick: p.cfg.ServiceTick, Events: events,
 		})
 		cm.ad = &ServiceAdapter{
+			ConservativeSpeed: p.cfg.ConservativeSpeed,
+			Processing:        sim.Seconds(p.cfg.ProcessingEstimate),
+			VMPrice:           p.cfg.UserVMPrice,
+			PenaltyN:          p.cfg.PenaltyN,
+			MaxPenaltyFrac:    p.cfg.MaxPenaltyFrac,
+			ScaleOutLimit:     p.cfg.SLAScaleOutLimit,
+			Availability:      p.cfg.ServiceAvailability,
+			Interval:          p.cfg.ServiceTick,
+		}
+	case workload.TypeServerless:
+		cm.fw = serverless.New(p.Eng, serverless.Config{
+			Name: cfg.Name, Image: cfg.Name + ".img", Tick: p.cfg.ServiceTick, Events: events,
+		})
+		cm.ad = &ServerlessAdapter{
 			ConservativeSpeed: p.cfg.ConservativeSpeed,
 			Processing:        sim.Seconds(p.cfg.ProcessingEstimate),
 			VMPrice:           p.cfg.UserVMPrice,
@@ -375,6 +390,14 @@ func (cm *ClusterManager) lat(d interface {
 // node crash left commitments outstanding against a shrunken pool.
 func (cm *ClusterManager) commit(st *appState, placement metrics.Placement) {
 	n := st.contract.NumVMs
+	if cm.cfg.Type == workload.TypeServerless {
+		// A function starts at zero instances and books nothing at
+		// commit: the contracted count is a burst ceiling, not a
+		// reservation, and every instance it later warms flows through
+		// onJobScale against avail. That zero-booking is what lets a VC
+		// admit far more functions than it holds VMs.
+		n = 0
+	}
 	if placement == metrics.PlacementLocal && cm.avail < n {
 		panic(fmt.Sprintf("core: %s committing %d local VMs with avail=%d", cm.name, n, cm.avail))
 	}
@@ -493,6 +516,12 @@ func (cm *ClusterManager) onJobRequeue(j *framework.Job) {
 		return
 	}
 	cm.closeSegment(st)
+	if cm.cfg.Type == workload.TypeServerless {
+		// A requeued function restarts cold at zero instances; nothing
+		// to re-book.
+		st.lastReplicas = 0
+		return
+	}
 	if st.contract.SLO != nil {
 		cm.avail -= st.contract.NumVMs - st.lastReplicas
 		st.lastReplicas = st.contract.NumVMs
@@ -660,7 +689,45 @@ func (cm *ClusterManager) settleSLO(st *appState, j *framework.Job) {
 			}
 		}
 	}
+	if fw := cm.serverlessFW(); fw != nil {
+		if stats, err := fw.FunctionStats(j.ID); err == nil {
+			cm.syncFunctionStats(st.rec, stats)
+			// Metered spend, bounded by the contracted cost cap — the
+			// platform throttles instead of surprise-billing past it.
+			if metered := stats.Served * st.contract.PerInvocation; metered > 0 {
+				if st.contract.CostCap > 0 && metered > st.contract.CostCap {
+					metered = st.contract.CostCap
+				}
+				st.rec.Metered = metered
+			}
+		}
+	}
 	st.rec.Penalty = st.contract.SLOPenalty(st.rec.SLOIntervals, st.rec.SLOBurned)
+}
+
+// syncFunctionStats folds a function's framework accounting into its
+// ledger record and bumps the platform counters by the deltas since the
+// last sync (the record carries the running totals, so the periodic
+// controller sync and the final settle never double count).
+func (cm *ClusterManager) syncFunctionStats(rec *metrics.AppRecord, stats serverless.Stats) {
+	if d := stats.ColdStarts - rec.ColdStarts; d > 0 {
+		cm.p.Counters.ColdStarts.AddN(int64(d))
+	}
+	if d := stats.Activations - rec.Activations; d > 0 {
+		cm.p.Counters.Activations.AddN(int64(d))
+	}
+	if d := stats.ZeroScales - rec.ZeroScales; d > 0 {
+		cm.p.Counters.ZeroScales.AddN(int64(d))
+	}
+	rec.SLOIntervals, rec.SLOBurned = stats.Intervals, stats.Burned
+	if stats.PeakReplicas > rec.PeakReplicas {
+		rec.PeakReplicas = stats.PeakReplicas
+	}
+	rec.ColdStarts = stats.ColdStarts
+	rec.ColdStartDelayS = stats.ColdStartDelayS
+	rec.Activations = stats.Activations
+	rec.ZeroScales = stats.ZeroScales
+	rec.Served = stats.Served
 }
 
 // gcIdleCloud releases every attached cloud node that is idle, in one

@@ -398,7 +398,8 @@ func (c *Config) fillDefaults() error {
 			return &DuplicateVCError{Name: vc.Name}
 		}
 		seen[vc.Name] = true
-		if vc.Type != workload.TypeBatch && vc.Type != workload.TypeMapReduce && vc.Type != workload.TypeService {
+		if vc.Type != workload.TypeBatch && vc.Type != workload.TypeMapReduce &&
+			vc.Type != workload.TypeService && vc.Type != workload.TypeServerless {
 			return &VCError{Name: vc.Name, Msg: fmt.Sprintf("unsupported type %q", vc.Type)}
 		}
 		if vc.InitialVMs < 0 {

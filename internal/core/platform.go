@@ -38,6 +38,14 @@ type Counters struct {
 	SpotLeases      metrics.Counter // spot instances leased
 	SpotRevocations metrics.Counter // attached spot leases revoked by the market
 	SpotFallbacks   metrics.Counter // lease decisions forced from spot to on-demand
+
+	// Serverless activity.
+	ColdStarts       metrics.Counter // function instances booted from cold
+	Activations      metrics.Counter // scale-from-zero episodes
+	ZeroScales       metrics.Counter // idle functions scaled to zero
+	CostCapThrottles metrics.Counter // functions clamped at their metered cost cap
+	RevisionDeploys  metrics.Counter // new immutable revisions deployed
+	TrafficSplits    metrics.Counter // traffic-split changes applied
 }
 
 // Platform is one assembled Meryn deployment: engine, substrates,

@@ -9,6 +9,7 @@ import (
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
 	"meryn/internal/vmm"
+	"meryn/internal/workload"
 )
 
 // Bid is a Cluster Manager's answer to a bid computation request.
@@ -328,23 +329,39 @@ func (cm *ClusterManager) suspendVictim(owner *ClusterManager, victimID string) 
 		return false
 	}
 	owner.avail += released
-	owner.victims = append(owner.victims, victim{appID: victimID, vms: vs.contract.NumVMs})
+	resumeVMs := vs.contract.NumVMs
+	if owner.cfg.Type == workload.TypeServerless {
+		// A resumed function restarts cold at zero instances and scales
+		// back up through the free pool; its resume needs no head-room.
+		resumeVMs = 0
+	}
+	owner.victims = append(owner.victims, victim{appID: victimID, vms: resumeVMs})
 	cm.p.Counters.Suspensions.Inc()
 	return true
 }
 
-// shrinkVictim reclaims n replicas from a running service on the owner
-// CM. The framework's OnScale notification updates the owner's avail
-// and accounting; the freed nodes join the owner's free index, where
-// the requester picks them up (locally, or through the VM-exchange
-// detach). It reports false when the service can no longer yield n.
+// shrinker is the replica-yielding surface a framework must expose for
+// its jobs to serve as shrink victims — the service framework's elastic
+// replica sets and the serverless framework's warm instance fleets both
+// qualify.
+type shrinker interface {
+	ReplicaKinds(id string) (private, cloud int, err error)
+	Shrink(id string, n int) error
+}
+
+// shrinkVictim reclaims n replicas from a running service (or warm
+// instances from a running function) on the owner CM. The framework's
+// OnScale notification updates the owner's avail and accounting; the
+// freed nodes join the owner's free index, where the requester picks
+// them up (locally, or through the VM-exchange detach). It reports
+// false when the victim can no longer yield n.
 func (cm *ClusterManager) shrinkVictim(owner *ClusterManager, victimID string, n int) bool {
 	vs, ok := owner.apps[victimID]
 	if !ok || vs.job == nil || vs.job.State != framework.JobRunning || vs.job.Replicas-n < 1 {
 		return false
 	}
-	svc := owner.serviceFW()
-	if svc == nil {
+	svc, ok := owner.fw.(shrinker)
+	if !ok {
 		return false
 	}
 	// Re-verify (the replica mix may have shifted since the bid) that

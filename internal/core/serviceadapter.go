@@ -67,12 +67,15 @@ func (a *ServiceAdapter) replicaRate(app workload.App) float64 {
 
 // sizingRate is the rate the provider sizes offers against: the user's
 // declared peak, or the profile's true peak over the lifetime when the
-// declaration is absent.
+// declaration is absent. The profile evaluates in absolute simulation
+// time, so the peak is taken over the service's actual window
+// [SubmitAt, SubmitAt+Duration] — Peak(duration) would miss bursts that
+// only materialize after the submission instant.
 func (a *ServiceAdapter) sizingRate(app workload.App) float64 {
 	if app.DeclaredPeak > 0 {
 		return app.DeclaredPeak
 	}
-	return app.Load.Peak(sim.Seconds(app.DurationS))
+	return app.Load.PeakIn(app.SubmitAt, app.SubmitAt+sim.Seconds(app.DurationS))
 }
 
 // minViableReplicas is the smallest replica count that does not

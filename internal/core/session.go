@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"meryn/internal/framework"
+	"meryn/internal/framework/serverless"
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
 	"meryn/internal/sla"
@@ -410,6 +412,90 @@ func (s *Session) Metrics() PlatformMetrics {
 		m.SpotSpend += prov.SpotSpend
 	}
 	return m
+}
+
+// serverlessForLocked resolves an accepted submission to the serverless
+// framework hosting it. Callers hold s.mu.
+func (s *Session) serverlessForLocked(appID string) (*serverless.Serverless, error) {
+	g, ok := s.negs[appID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown app %q", appID)
+	}
+	if g.state != NegotiationAccepted || g.cm == nil {
+		return nil, fmt.Errorf("core: app %s has no agreed contract", appID)
+	}
+	fw := g.cm.serverlessFW()
+	if fw == nil {
+		return nil, fmt.Errorf("core: app %s is not a serverless application", appID)
+	}
+	return fw, nil
+}
+
+// DeployRevision registers a new immutable revision for a serverless
+// application, at traffic weight zero — the first canary step. A
+// SetTrafficSplit call moves traffic onto it.
+func (s *Session) DeployRevision(appID, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: session is drained")
+	}
+	fw, err := s.serverlessForLocked(appID)
+	if err != nil {
+		return err
+	}
+	if err := fw.DeployRevision(appID, name); err != nil {
+		return err
+	}
+	s.p.Counters.RevisionDeploys.Inc()
+	s.emitLocked(appID, "revision", name)
+	return nil
+}
+
+// SetTrafficSplit reassigns traffic weights across a serverless
+// application's revisions (canary 90/10, promote, roll back). Weights
+// are relative; revisions not named drop to zero.
+func (s *Session) SetTrafficSplit(appID string, weights map[string]int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: session is drained")
+	}
+	fw, err := s.serverlessForLocked(appID)
+	if err != nil {
+		return err
+	}
+	if err := fw.SetTrafficSplit(appID, weights); err != nil {
+		return err
+	}
+	s.p.Counters.TrafficSplits.Inc()
+	// Deterministic event detail: weights render in name order.
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	detail := ""
+	for i, name := range names {
+		if i > 0 {
+			detail += " "
+		}
+		detail += fmt.Sprintf("%s=%d", name, weights[name])
+	}
+	s.emitLocked(appID, "traffic", detail)
+	return nil
+}
+
+// Revisions snapshots a serverless application's revisions in deploy
+// order: traffic weight, pinned instances, routed requests, cold starts.
+func (s *Session) Revisions(appID string) ([]serverless.RevisionStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fw, err := s.serverlessForLocked(appID)
+	if err != nil {
+		return nil, err
+	}
+	return fw.Revisions(appID)
 }
 
 // Drain runs the platform dry — every submission settles, then the

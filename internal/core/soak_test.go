@@ -11,15 +11,16 @@ import (
 )
 
 // soakConfig builds the soak platform: two small batch VCs (one
-// spot-bidding), a market-priced cloud, and the auditor at a 5 s
-// cadence collecting violations instead of panicking so the failing
-// seed can be reported.
+// spot-bidding), a spot-bidding serverless VC, a market-priced cloud,
+// and the auditor at a 5 s cadence collecting violations instead of
+// panicking so the failing seed can be reported.
 func soakConfig(seed int64, violations *[]error) Config {
 	cfg := DefaultConfig()
 	cfg.Seed = seed
 	cfg.VCs = []VCConfig{
 		{Name: "vc1", Type: workload.TypeBatch, InitialVMs: 6, Spot: &SpotPolicy{BidMultiplier: 1.25}},
 		{Name: "vc2", Type: workload.TypeBatch, InitialVMs: 4},
+		{Name: "vc3", Type: workload.TypeServerless, InitialVMs: 6, Spot: &SpotPolicy{BidMultiplier: 1.25}},
 	}
 	cfg.Clouds[0].Market = &cloud.MarketConfig{
 		Volatility: 0.15, Reversion: 0.25, Floor: 0.5, Tick: sim.Seconds(30),
@@ -70,7 +71,7 @@ func soak(t *testing.T, seed int64) {
 	submitted := 0
 	for i := 0; i < ops; i++ {
 		op := "noop"
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0, 1, 2, 3, 4: // submit a batch app to a random VC
 			vc := "vc1"
 			if rng.Intn(2) == 1 {
@@ -87,6 +88,31 @@ func soak(t *testing.T, seed int64) {
 				t.Fatalf("seed %d: submit %s: %v", seed, app.ID, err)
 			}
 			op = "submit " + app.ID
+		case 10, 11: // submit a serverless function with idle gaps
+			// Long cold starts and a 50% duty cycle keep functions mid-boot
+			// or freshly warm much of the time, so the random crashes and
+			// spot revocations below land on instances in every phase of
+			// the cold-start lifecycle — including a booting instance and a
+			// function's only warm host on a revoked spot lease.
+			app := workload.App{
+				ID: fmt.Sprintf("soak-%d", submitted), Type: workload.TypeServerless, VC: "vc3",
+				SubmitAt:    s.p.Eng.Now(),
+				Replicas:    1 + rng.Intn(2),
+				SvcRate:     10,
+				DurationS:   600 + rng.Float64()*900,
+				ColdStartS:  10 + rng.Float64()*30,
+				ConcTarget:  1 + rng.Float64(),
+				IdleWindowS: 30 + rng.Float64()*30,
+				Load: &workload.LoadProfile{
+					Base:  4 + rng.Float64()*8,
+					OnOff: &workload.OnOff{Period: sim.Seconds(120), Active: sim.Seconds(60)},
+				},
+			}
+			submitted++
+			if _, err := s.SubmitWith(app, nil); err != nil {
+				t.Fatalf("seed %d: submit %s: %v", seed, app.ID, err)
+			}
+			op = "submit fn " + app.ID
 		case 5, 6: // crash a random running VM
 			if vms := p.VMM.List(vmm.StateRunning); len(vms) > 0 {
 				id := vms[rng.Intn(len(vms))].ID
@@ -126,5 +152,8 @@ func soak(t *testing.T, seed int64) {
 	}
 	if got := len(res.Ledger.All()); got != submitted {
 		t.Fatalf("seed %d: ledger has %d records, submitted %d", seed, got, submitted)
+	}
+	if got := len(res.Ledger.ByType(string(workload.TypeServerless))); got == 0 {
+		t.Fatalf("seed %d: no serverless functions exercised in the soak", seed)
 	}
 }

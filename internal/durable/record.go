@@ -36,6 +36,11 @@ const (
 	KindAccept  Kind = "accept"
 	KindCounter Kind = "counter"
 	KindReject  Kind = "reject"
+	// Serverless rollout actions: deploy an immutable revision, move
+	// traffic between revisions. Journaled like every other mutation, so
+	// an in-flight canary survives a control-plane crash.
+	KindDeployRevision Kind = "deploy-revision"
+	KindSetTraffic     Kind = "set-traffic"
 )
 
 // Record is one state-changing control-plane action. TimeS is the
@@ -60,6 +65,12 @@ type Record struct {
 	// Counter payload (exactly one of the two is non-zero).
 	DeadlineS float64 `json:"deadline_s,omitempty"`
 	Price     float64 `json:"price,omitempty"`
+
+	// Deploy-revision payload.
+	Revision string `json:"revision,omitempty"`
+
+	// Set-traffic payload.
+	Weights map[string]int `json:"weights,omitempty"`
 }
 
 // Validate rejects records that could never replay.
@@ -72,6 +83,20 @@ func (r Record) Validate() error {
 	case KindAccept, KindCounter, KindReject:
 		if r.AppID == "" {
 			return fmt.Errorf("durable: %s record without an app ID", r.Kind)
+		}
+	case KindDeployRevision:
+		if r.AppID == "" {
+			return fmt.Errorf("durable: %s record without an app ID", r.Kind)
+		}
+		if r.Revision == "" {
+			return fmt.Errorf("durable: deploy-revision record without a revision name")
+		}
+	case KindSetTraffic:
+		if r.AppID == "" {
+			return fmt.Errorf("durable: %s record without an app ID", r.Kind)
+		}
+		if len(r.Weights) == 0 {
+			return fmt.Errorf("durable: set-traffic record without weights")
 		}
 	default:
 		return fmt.Errorf("durable: unknown record kind %q", r.Kind)

@@ -81,6 +81,10 @@ func apply(sess *core.Session, r Record) error {
 			return err
 		}
 		return neg.Reject()
+	case KindDeployRevision:
+		return sess.DeployRevision(r.AppID, r.Revision)
+	case KindSetTraffic:
+		return sess.SetTrafficSplit(r.AppID, r.Weights)
 	default:
 		return fmt.Errorf("durable: unknown record kind %q", r.Kind)
 	}

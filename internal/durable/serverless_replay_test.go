@@ -1,0 +1,198 @@
+package durable_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"meryn/internal/api"
+	"meryn/internal/api/server"
+	"meryn/internal/core"
+	"meryn/internal/durable"
+	"meryn/internal/sim"
+	"meryn/internal/workload"
+)
+
+// serverlessConfig is the platform both sides of the crash boot: a
+// serverless VC next to a batch VC, same seed.
+func serverlessConfig() core.Config {
+	return core.Config{
+		Seed: 1,
+		VCs: []core.VCConfig{
+			{Name: "fn1", Type: workload.TypeServerless, InitialVMs: 10},
+			{Name: "vc2", Type: workload.TypeBatch, InitialVMs: 10},
+		},
+	}
+}
+
+// bootServerless assembles the durable control plane in stepped virtual
+// time: every mutation advances the clock 60 s instead of running to
+// settle, so the function is still mid-flight when revision operations
+// land — a deploy on a completed function would be rejected.
+func bootServerless(t *testing.T, dir string) *plane {
+	t.Helper()
+	store, err := durable.Open(dir, durable.Meta{Seed: 1, Policy: "meryn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(serverlessConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sess, server.Config{
+		OnMutate: func() { sess.Step(sess.Now() + sim.Seconds(60)) },
+		Store:    store,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { store.Close() })
+	return &plane{ts: ts, sess: sess, store: store, srv: srv}
+}
+
+// sameJSON compares two values by their wire encoding — api.Contract
+// holds a pointer field, so struct equality would compare identities.
+func sameJSON(t *testing.T, a, b any) bool {
+	t.Helper()
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ab, bb)
+}
+
+// TestServerlessReplaySurvivesRevisionHistory: submit a function, agree
+// a per-invocation contract (twice — the retried accept journals too),
+// deploy a canary revision, split traffic, then crash the control plane
+// mid-lifetime. Replay must rebuild the revision set byte-identically,
+// fail the duplicate-accept record exactly as it failed live, and the
+// reborn server must converge retried accepts and deploys on the
+// recovered state.
+func TestServerlessReplaySurvivesRevisionHistory(t *testing.T) {
+	dir := t.TempDir()
+	live := bootServerless(t, dir)
+
+	fn := api.App{
+		ID: "fn-0", Type: "serverless", VC: "fn1",
+		Replicas: 2, SvcRate: 10, DurationS: 900,
+		ColdStartS: 5, ConcTarget: 1, IdleWindowS: 120,
+		DeclaredPeak: 8,
+		Load:         &api.Load{Base: 8, OnOffPeriodS: 120, OnOffActiveS: 60},
+	}
+	var st api.AppStatus
+	live.post(t, "/v1/apps", fn, &st)
+	if len(st.Offers) == 0 {
+		t.Fatalf("no offers for the function: %+v", st)
+	}
+	var contract api.Contract
+	if resp := live.post(t, "/v1/apps/fn-0/accept", map[string]int{"offer_index": 0}, &contract); resp.StatusCode != http.StatusOK {
+		t.Fatalf("accept: %d", resp.StatusCode)
+	}
+	// A retried accept (the reply was lost) journals ahead of the apply
+	// and then converges on the agreed contract.
+	var retried api.Contract
+	if resp := live.post(t, "/v1/apps/fn-0/accept", map[string]int{"offer_index": 0}, &retried); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried accept: %d", resp.StatusCode)
+	}
+	if !sameJSON(t, retried, contract) {
+		t.Fatalf("retried accept diverged: %+v vs %+v", retried, contract)
+	}
+
+	var revs []api.Revision
+	if resp := live.post(t, "/v1/apps/fn-0/revisions", api.DeployRevisionRequest{Name: "v2"}, &revs); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy v2: %d", resp.StatusCode)
+	}
+	// A retried deploy finds the revision present: 200, and no second
+	// journal record — replay must not see a duplicate.
+	if resp := live.post(t, "/v1/apps/fn-0/revisions", api.DeployRevisionRequest{Name: "v2"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried deploy: %d", resp.StatusCode)
+	}
+	if resp := live.post(t, "/v1/apps/fn-0/traffic", api.TrafficSplitRequest{
+		Weights: map[string]int{"rev-1": 90, "v2": 10},
+	}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("set traffic: %d", resp.StatusCode)
+	}
+
+	revisions := live.getBytes(t, "/v1/apps/fn-0/revisions")
+	apps := live.getBytes(t, "/v1/apps")
+	metricsB := live.getBytes(t, "/v1/metrics")
+	digest := live.sess.Digest()
+
+	// Crash: abandon the plane; every record is already fsync'd.
+	live.ts.Close()
+	live.store.Close()
+
+	store2, err := durable.Open(dir, durable.Meta{Seed: 1, Policy: "meryn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	recs := store2.Records()
+	// submit, accept, retried accept, deploy, traffic — the retried
+	// deploy converged without journaling.
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+
+	p2, err := core.NewPlatform(serverlessConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := p2.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := durable.Replay(sess2, recs, func() { sess2.Step(sess2.Now() + sim.Seconds(60)) })
+	// The duplicate accept errored live (and returned the contract); it
+	// must fail identically on replay and leave no trace.
+	if stats.Failed != 1 || stats.Applied != 4 {
+		t.Fatalf("replay stats = %+v, want 1 failed (retried accept), 4 applied\nerrors: %v", stats, stats.Errors)
+	}
+	if got := sess2.Digest(); got != digest {
+		t.Fatalf("state digest after replay = %016x, want %016x", got, digest)
+	}
+
+	srv2 := server.New(sess2, server.Config{
+		OnMutate: func() { sess2.Step(sess2.Now() + sim.Seconds(60)) },
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	reborn := &plane{ts: ts2, sess: sess2}
+	for path, want := range map[string][]byte{
+		"/v1/apps/fn-0/revisions": revisions,
+		"/v1/apps":                apps,
+		"/v1/metrics":             metricsB,
+	} {
+		if got := reborn.getBytes(t, path); !bytes.Equal(got, want) {
+			t.Errorf("%s diverged after replay:\n got: %s\nwant: %s", path, got, want)
+		}
+	}
+
+	// Re-accept idempotency holds across the crash: a client retrying
+	// its accept against the reborn plane converges on the same
+	// contract, and a retried deploy converges on the recovered
+	// revision set without mutating it.
+	var again api.Contract
+	if resp := reborn.post(t, "/v1/apps/fn-0/accept", map[string]int{"offer_index": 0}, &again); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-accept on reborn plane: %d", resp.StatusCode)
+	}
+	if !sameJSON(t, again, contract) {
+		t.Fatalf("re-accept diverged after recovery: %+v vs %+v", again, contract)
+	}
+	var revsAgain []api.Revision
+	if resp := reborn.post(t, "/v1/apps/fn-0/revisions", api.DeployRevisionRequest{Name: "v2"}, &revsAgain); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried deploy on reborn plane: %d", resp.StatusCode)
+	}
+	if got := reborn.getBytes(t, "/v1/apps/fn-0/revisions"); !bytes.Equal(got, revisions) {
+		t.Fatalf("revision set mutated by converging retries:\n got: %s\nwant: %s", got, revisions)
+	}
+}

@@ -100,6 +100,11 @@ func All() []Experiment {
 			m.BaseSeed = seed
 			return m.Services(opt)
 		}},
+		{Name: "serverless", Artifact: "Extension: scale-to-zero functions (idle gap x cold start x concurrency)", Run: func(seed int64, opt Options) (Renderable, error) {
+			m := DefaultServerlessMatrix()
+			m.BaseSeed = seed
+			return m.Serverless(opt)
+		}},
 		{Name: "spot", Artifact: "Extension: preemptible (spot) cloud capacity (policy x volatility x bid)", Run: func(seed int64, opt Options) (Renderable, error) {
 			m := DefaultSpotMatrix()
 			m.BaseSeed = seed

@@ -76,10 +76,21 @@ type Job struct {
 	// Service shape (used by the service framework). A service runs one
 	// replica per node; the framework maintains Replicas as the current
 	// replica count (it starts at VMs and changes with elastic scaling).
+	// The serverless framework reuses the same fields with shifted
+	// meanings: VMs is the contracted instance ceiling, Replicas the
+	// current instance count (it starts at zero and scales with demand),
+	// and Work the registered function lifetime in wall seconds.
 	Replicas  int                      // current replicas, framework-maintained
 	SvcRate   float64                  // requests/s one replica serves at SpeedFactor 1.0
 	TargetP95 float64                  // p95 latency objective in seconds (0 = untracked)
 	Rate      func(t sim.Time) float64 // offered request rate (open-loop arrivals)
+
+	// Serverless shape (used by the serverless framework, in addition
+	// to the service fields above).
+	ColdStartS  float64 // boot delay before a fresh instance serves, seconds
+	ConcTarget  float64 // autoscaler target: in-flight requests per warm instance
+	IdleWindowS float64 // idle seconds before the function scales to zero
+	Revision    string  // name of the initial (immutable) revision
 
 	// Lifecycle, maintained by the framework.
 	State       JobState

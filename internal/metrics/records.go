@@ -61,6 +61,14 @@ type AppRecord struct {
 	// Revocations counts cloud nodes this application lost mid-run to
 	// spot-market preemption or cloud VM crashes.
 	Revocations int
+
+	// Serverless accounting (zero for other application types).
+	ColdStarts      int     // instances booted from cold
+	ColdStartDelayS float64 // summed boot delay charged against the SLO [s]
+	Activations     int     // scale-from-zero episodes
+	ZeroScales      int     // idle windows that scaled the function to zero
+	Served          float64 // requests served over the lifetime
+	Metered         float64 // pay-per-invocation spend, bounded by the cost cap
 }
 
 // ExecTime is the measured execution duration.
@@ -206,6 +214,14 @@ type Aggregate struct {
 	// Revocations sums cloud-node losses (spot preemptions and cloud
 	// crashes) across the record set.
 	Revocations int
+
+	// Serverless aggregates (over records with invocation accounting).
+	ColdStarts      int
+	ColdStartDelayS float64
+	Activations     int
+	ZeroScales      int
+	Served          float64
+	Metered         float64
 }
 
 // Aggregate computes summary statistics over a record slice.
@@ -240,6 +256,12 @@ func AggregateRecords(recs []*AppRecord) Aggregate {
 			agg.SLOBurned += r.SLOBurned
 		}
 		agg.Revocations += r.Revocations
+		agg.ColdStarts += r.ColdStarts
+		agg.ColdStartDelayS += r.ColdStartDelayS
+		agg.Activations += r.Activations
+		agg.ZeroScales += r.ZeroScales
+		agg.Served += r.Served
+		agg.Metered += r.Metered
 	}
 	n := float64(len(recs))
 	agg.MeanExecTime /= n

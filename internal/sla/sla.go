@@ -46,6 +46,14 @@ type Contract struct {
 	// contracted lifetime, and penalties accrue per burned SLO interval
 	// (SLOPenalty) instead of per late completion.
 	SLO *SLO
+
+	// Per-invocation terms (serverless contracts; zero otherwise).
+	// PerInvocation is the metered charge per served request and
+	// CostCap bounds the total metered spend — the agreed price quotes
+	// the projection, and the platform throttles rather than
+	// surprise-bills past the cap.
+	PerInvocation float64
+	CostCap       float64
 }
 
 // Price implements Eq. 2: price = execution_time * nb_vms * vm_price.
@@ -135,10 +143,14 @@ func (p *Provider) Offers() []Offer {
 		if p.SLO != nil {
 			priceBase = lifetime
 		}
+		price := Price(priceBase, n, p.VMPrice)
+		if p.SLO != nil && p.SLO.Invocation != nil {
+			price = p.SLO.Invocation.price(lifetime, n, p.VMPrice)
+		}
 		out = append(out, Offer{
 			NumVMs:   n,
 			Deadline: Deadline(exec, p.Processing),
-			Price:    Price(priceBase, n, p.VMPrice),
+			Price:    price,
 		})
 	}
 	return out
@@ -250,6 +262,12 @@ func (p *Provider) contractFor(appID string, o Offer) *Contract {
 		c.SLO = p.sloFor(o, n)
 		c.Deadline = t.Lifetime + t.StartupGrace
 		c.ExecEst = t.Lifetime
+		if ip := t.Invocation; ip != nil {
+			// Pay-per-use terms: the quoted projection is the spend
+			// ceiling; a user-imposed price lowers the cap with it.
+			c.PerInvocation = ip.PerInvocation(p.VMPrice)
+			c.CostCap = o.Price
+		}
 	}
 	return c
 }

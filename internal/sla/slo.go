@@ -87,6 +87,60 @@ type SLOTemplate struct {
 	// lifetime — placement and deployment time the provider grants
 	// itself before the overall Deadline burns (default 120 s).
 	StartupGrace sim.Time
+
+	// Invocation, when non-nil, switches pricing from node-hours to
+	// pay-per-use: the offer's price column quotes the projected
+	// invocation spend over the lifetime plus a capacity premium for
+	// the instance ceiling, and the agreed contract carries a metered
+	// cost cap. The serverless framework negotiates this form.
+	Invocation *InvocationPricing
+}
+
+// InvocationPricing prices serverless contracts per vCPU-second of
+// function execution instead of per reserved node-hour — the billing
+// shape that makes scale-to-zero economically meaningful: a function
+// that receives no requests pays only the capacity premium.
+type InvocationPricing struct {
+	// ExpectedRate is the projected request rate over the lifetime in
+	// requests/s (the user's declared peak damped to a mean; zero for
+	// a function that expects no traffic).
+	ExpectedRate float64
+	// VCPUSeconds is the compute one invocation consumes on a
+	// speed-1.0 vCPU.
+	VCPUSeconds float64
+	// UnitPrice is the price per vCPU-second (defaults to the
+	// provider's VMPrice — one vCPU busy for one second costs the same
+	// metered as reserved).
+	UnitPrice float64
+	// CapacityFrac is the reserved-headroom premium: this fraction of
+	// the equivalent node-hour price of the instance ceiling is
+	// charged for the right to burst to it (default 0.1). It is what
+	// makes offers vary with the ceiling.
+	CapacityFrac float64
+}
+
+// price quotes one offer: projected metered spend plus the ceiling
+// premium for n instances.
+func (ip *InvocationPricing) price(lifetime sim.Time, n int, vmPrice float64) float64 {
+	unit := ip.UnitPrice
+	if unit <= 0 {
+		unit = vmPrice
+	}
+	frac := ip.CapacityFrac
+	if frac <= 0 {
+		frac = 0.1
+	}
+	metered := ip.ExpectedRate * sim.ToSeconds(lifetime) * ip.VCPUSeconds * unit
+	return metered + frac*Price(lifetime, n, vmPrice)
+}
+
+// PerInvocation is the metered charge for one request.
+func (ip *InvocationPricing) PerInvocation(vmPrice float64) float64 {
+	unit := ip.UnitPrice
+	if unit <= 0 {
+		unit = vmPrice
+	}
+	return ip.VCPUSeconds * unit
 }
 
 // normalized fills template defaults.

@@ -21,6 +21,26 @@ type LoadProfile struct {
 	Diurnal *Diurnal
 	// Bursts are transient rate multipliers.
 	Bursts []Burst
+	// OnOff, when non-nil, gates the rate with idle gaps: the profile
+	// offers load only during the Active prefix of each Period and is
+	// exactly zero for the rest — the request shape that exercises a
+	// serverless function's scale-to-zero path.
+	OnOff *OnOff
+}
+
+// OnOff is a square-wave gate over a load profile: Active seconds of
+// traffic at the start of every Period, silence (rate zero) after.
+type OnOff struct {
+	Period sim.Time
+	Active sim.Time
+}
+
+// gated reports whether t falls in an idle gap.
+func (o *OnOff) gated(t sim.Time) bool {
+	if o == nil || o.Period <= 0 || o.Active >= o.Period {
+		return false
+	}
+	return t%o.Period >= o.Active
 }
 
 // Burst is one transient load spike: between At and At+Duration the
@@ -36,6 +56,9 @@ type Burst struct {
 // sharing one user population).
 func (p *LoadProfile) Rate(t sim.Time) float64 {
 	if p == nil {
+		return 0
+	}
+	if p.OnOff.gated(t) {
 		return 0
 	}
 	r := p.Base
@@ -54,26 +77,49 @@ func (p *LoadProfile) Rate(t sim.Time) float64 {
 }
 
 // Peak returns the maximum rate the profile reaches in [0, horizon] —
-// what a conservative provider sizes SLO offers against. It evaluates
-// the profile at every shape breakpoint (burst edges, diurnal phase
-// flips), which is exact for this piecewise-constant family.
+// what a conservative provider sizes SLO offers against. Callers sizing
+// an application submitted at t > 0 must use PeakIn with the
+// application's actual window: the profile evaluates in absolute
+// simulation time, so Peak(duration) misses load shapes that only
+// materialize after the submission instant (a burst at the window's
+// far edge, the night half of a diurnal cycle).
 func (p *LoadProfile) Peak(horizon sim.Time) float64 {
-	if p == nil {
+	return p.PeakIn(0, horizon)
+}
+
+// PeakIn returns the maximum rate the profile reaches in [from, to]. It
+// evaluates the profile at every shape breakpoint falling inside the
+// window (burst edges, diurnal phase flips, on/off gate edges) plus the
+// window bounds, which is exact for this piecewise-constant family.
+func (p *LoadProfile) PeakIn(from, to sim.Time) float64 {
+	if p == nil || to < from {
 		return 0
 	}
-	pts := []sim.Time{0, horizon}
+	pts := []sim.Time{from, to}
 	for _, b := range p.Bursts {
 		pts = append(pts, b.At, b.At+b.Duration-1)
 	}
-	if p.Diurnal != nil && p.Diurnal.Period > 0 {
-		half := p.Diurnal.Period / 2
-		for t := sim.Time(0); t <= horizon; t += half {
+	appendPhases := func(period sim.Time) {
+		if period <= 0 {
+			return
+		}
+		start := (from / period) * period
+		if start < 0 {
+			start = 0
+		}
+		for t := start; t <= to; t += period {
 			pts = append(pts, t)
 		}
 	}
+	if p.Diurnal != nil {
+		appendPhases(p.Diurnal.Period / 2)
+	}
+	if p.OnOff != nil {
+		appendPhases(p.OnOff.Period)
+	}
 	peak := 0.0
 	for _, t := range pts {
-		if t < 0 || t > horizon {
+		if t < from || t > to {
 			continue
 		}
 		if r := p.Rate(t); r > peak {

@@ -77,3 +77,46 @@ func TestServicesGenerator(t *testing.T) {
 		}
 	}
 }
+
+// TestPeakInCatchesBurstBeyondSubmitHorizon is the regression test for
+// the Peak/PeakIn split: sizing an app submitted at t > 0 against
+// Peak(duration) evaluates [0, duration] in absolute time and misses a
+// burst that only materializes near the far edge of the app's actual
+// window — exactly the under-sizing that made late-submitted services
+// saturate under their first burst.
+func TestPeakInCatchesBurstBeyondSubmitHorizon(t *testing.T) {
+	p := &LoadProfile{
+		Base:   10,
+		Bursts: []Burst{{At: sim.Seconds(900), Duration: sim.Seconds(60), Factor: 3}},
+	}
+	// The naive sizing window [0, 600] never sees the burst.
+	if got := p.Peak(sim.Seconds(600)); got != 10 {
+		t.Fatalf("Peak(600s) = %g, want the steady base 10", got)
+	}
+	// The app's actual window does: submitted at 500 s with a 600 s
+	// lifetime, the burst sits at the horizon's far edge.
+	if got := p.PeakIn(sim.Seconds(500), sim.Seconds(1100)); got != 30 {
+		t.Fatalf("PeakIn(500s, 1100s) = %g, want the 3x burst caught", got)
+	}
+	// A burst ending exactly at the window start is still inside it for
+	// one instant (bursts are half-open [At, At+Duration)).
+	if got := p.PeakIn(sim.Seconds(960)-1, sim.Seconds(1500)); got != 30 {
+		t.Fatalf("PeakIn at burst tail = %g, want 30", got)
+	}
+	if got := p.PeakIn(sim.Seconds(960), sim.Seconds(1500)); got != 10 {
+		t.Fatalf("PeakIn past burst end = %g, want the base again", got)
+	}
+
+	// An on/off profile windowed from inside an idle gap still reports
+	// the active-phase rate: the next period boundary is sampled.
+	q := &LoadProfile{
+		Base:  8,
+		OnOff: &OnOff{Period: sim.Seconds(120), Active: sim.Seconds(60)},
+	}
+	if got := q.PeakIn(sim.Seconds(70), sim.Seconds(130)); got != 8 {
+		t.Fatalf("PeakIn from mid-gap = %g, want the active rate 8", got)
+	}
+	if got := q.PeakIn(sim.Seconds(70), sim.Seconds(110)); got != 0 {
+		t.Fatalf("PeakIn inside one gap = %g, want 0", got)
+	}
+}

@@ -20,9 +20,10 @@ type AppType string
 
 // Application types supported by the shipped frameworks.
 const (
-	TypeBatch     AppType = "batch"
-	TypeMapReduce AppType = "mapreduce"
-	TypeService   AppType = "service"
+	TypeBatch      AppType = "batch"
+	TypeMapReduce  AppType = "mapreduce"
+	TypeService    AppType = "service"
+	TypeServerless AppType = "serverless"
 )
 
 // App is the uniform submission template of §3.3: the user describes the
@@ -54,6 +55,13 @@ type App struct {
 	// what the platform's elasticity is for — or the SLO burns. Zero
 	// means the profile's true peak (fully honest declaration).
 	DeclaredPeak float64
+
+	// Serverless shape: a request-driven function (reuses SvcRate,
+	// DurationS, Load and DeclaredPeak from the service shape).
+	ColdStartS  float64 // instance boot delay in seconds
+	ConcTarget  float64 // autoscaler target in-flight per warm instance
+	IdleWindowS float64 // idle seconds before scale-to-zero
+	Revision    string  // initial revision name (default "rev-1")
 }
 
 // Workload is a time-ordered application stream.

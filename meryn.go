@@ -153,6 +153,9 @@ const (
 	// TypeService targets elastic long-running-service VCs with
 	// latency/availability SLOs.
 	TypeService = workload.TypeService
+	// TypeServerless targets scale-to-zero function VCs with
+	// cold-start-aware SLOs and per-invocation billing.
+	TypeServerless = workload.TypeServerless
 )
 
 // Service workload types.
