@@ -28,16 +28,19 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment to run (see -list)")
-		seed      = flag.Int64("seed", 1, "base RNG seed")
-		list      = flag.Bool("list", false, "list available experiments")
-		outPath   = flag.String("out", "", "write the report to a file instead of stdout")
-		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
-		reps      = flag.Int("reps", 0, "seed replications for sampling experiments (0 = default)")
-		jsonPath  = flag.String("json", "", "also write machine-readable JSON to this file (- for stdout)")
-		sweepSpec = flag.String("sweep", "", `run a custom matrix sweep, e.g. "policy=meryn,static load=35,50 reps=5" (overrides -exp)`)
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		expName    = flag.String("exp", "all", "experiment to run (see -list)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		list       = flag.Bool("list", false, "list available experiments")
+		outPath    = flag.String("out", "", "write the report to a file instead of stdout")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
+		reps       = flag.Int("reps", 0, "seed replications for sampling experiments (0 = default)")
+		jsonPath   = flag.String("json", "", "also write machine-readable JSON to this file (- for stdout)")
+		sweepSpec  = flag.String("sweep", "", `run a custom matrix sweep, e.g. "policy=meryn,static load=35,50 reps=5" (overrides -exp)`)
+		shards     = flag.Int("shards", 0, "core shard count for every experiment platform (0 = per-experiment default; identical outputs for tie-free workloads like the scale experiment)")
+		scaleApps  = flag.String("scale-apps", "", `comma-separated app counts for the scale experiment, e.g. "1000,100000,1000000"`)
+		scaleBench = flag.Bool("scale-bench", false, "scale experiment: benchmark mode (each app count at shards 1/4/8, wall-clock recorded)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	jsonErrPath = *jsonPath
@@ -85,7 +88,17 @@ func main() {
 		out = f
 	}
 
-	opt := exp.Options{Workers: *workers, Reps: *reps}
+	if *shards < 0 {
+		fatal(fmt.Errorf("invalid -shards %d: must be >= 0", *shards))
+	}
+	opt := exp.Options{Workers: *workers, Reps: *reps, Shards: *shards, ScaleBench: *scaleBench}
+	if *scaleApps != "" {
+		ladder, err := exp.ParseAppsList(*scaleApps)
+		if err != nil {
+			fatal(err)
+		}
+		opt.ScaleApps = ladder
+	}
 
 	// named JSON results accumulate in run order for -json.
 	type namedResult struct {

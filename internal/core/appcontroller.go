@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"meryn/internal/framework"
+	"meryn/internal/framework/batch"
 	"meryn/internal/framework/service"
 	"meryn/internal/sim"
 )
@@ -71,6 +72,25 @@ type AppController struct {
 	st   *appState
 	tick *sim.Timer
 
+	// Event-driven scheduling (sharded runtime, batch-framework apps
+	// without an SLO). The legacy per-interval poll evaluates monotone
+	// conditions against a linear progress model, so between job
+	// transitions the first grid instant at which a check could act is
+	// computable in closed form — the controller sleeps until exactly
+	// that instant instead of ticking. Check instants stay on the
+	// legacy grid (created + k·MonitorInterval), so every counter the
+	// poll would have produced is produced here, at the same virtual
+	// time. Any transition that breaks progress linearity (suspension,
+	// crash requeue) drops the app to grid polling for its remaining
+	// lifetime — exactly the legacy cadence.
+	evDriven   bool
+	poll       bool // suspended/requeued at least once: poll every grid instant
+	segChecked bool // current execution segment's projection already decided
+	stopped    bool
+	created    sim.Time
+	next       *sim.Timer
+	nextAt     sim.Time
+
 	reportedProjected bool
 	reportedViolation bool
 
@@ -89,8 +109,142 @@ type AppController struct {
 // application finishes.
 func newAppController(cm *ClusterManager, st *appState) *AppController {
 	ac := &AppController{cm: cm, st: st}
-	ac.tick = cm.p.Eng.Every(cm.p.cfg.MonitorInterval, ac.check)
+	if _, batch := cm.ad.(*BatchAdapter); batch && cm.p.shards != nil &&
+		st.contract.SLO == nil && !cm.p.cfg.PollControllers {
+		ac.evDriven = true
+		ac.created = cm.eng.Now()
+		ac.resync()
+		return ac
+	}
+	ac.tick = cm.eng.Every(cm.p.cfg.MonitorInterval, ac.check)
 	return ac
+}
+
+// gridAfter returns the first legacy check instant (created + k·I,
+// k ≥ 1) strictly after t — "strictly" because both poll conditions
+// (now > deadline; now + est > deadline) are strict comparisons.
+func (ac *AppController) gridAfter(t sim.Time) sim.Time {
+	interval := ac.cm.p.cfg.MonitorInterval
+	if t < ac.created {
+		return ac.created + interval
+	}
+	k := (t - ac.created) / interval
+	return ac.created + (k+1)*interval
+}
+
+// nextEffectAt computes the earliest grid instant at which check()
+// could have an effect given the current job regime, or 0 for none.
+func (ac *AppController) nextEffectAt() sim.Time {
+	st := ac.st
+	if st.job == nil || st.job.State == framework.JobDone {
+		return 0
+	}
+	now := ac.cm.eng.Now()
+	if ac.poll {
+		return ac.gridAfter(now)
+	}
+	deadline := st.rec.Deadline
+	if ac.reportedViolation {
+		return 0 // every later legacy tick is a no-op
+	}
+	if ac.reportedProjected {
+		// Only the hard-violation branch remains: now > deadline.
+		return ac.gridAfter(deadline)
+	}
+	if st.job.State == framework.JobQueued && !st.job.Started {
+		// Estimate branch: fires once now + ExecEst > deadline.
+		at := ac.gridAfter(deadline - st.contract.ExecEst)
+		if v := ac.gridAfter(deadline); v < at {
+			at = v
+		}
+		return at
+	}
+	if !ac.segChecked {
+		// First execution segment of a batch job: progress is linear
+		// from StartedAt, so the projected finish is constant — the
+		// check at the next grid instant decides the projection for
+		// the whole segment.
+		t1 := ac.gridAfter(now)
+		if v := ac.gridAfter(deadline); v < t1 {
+			return v
+		}
+		// Pre-compute that check: ProgressAt replays the poll's exact
+		// float math at t1, so when the projection cannot fire (the
+		// common case — the segment finishes under the deadline) the
+		// controller goes dormant without scheduling anything; the
+		// framework's pre-scheduled finish is the next effect.
+		if fw, ok := ac.cm.fw.(*batch.Batch); ok {
+			if p1, err := fw.ProgressAt(st.app.ID, t1); err == nil && p1 > 0 {
+				if p1 >= 1 {
+					return 0 // finishes by t1; that tick would no-op
+				}
+				elapsed := t1 - st.job.StartedAt
+				eta := t1 + sim.Time(float64(elapsed)*(1-p1)/p1)
+				if eta <= deadline {
+					return 0 // on-time segment: every later tick no-ops
+				}
+			}
+		}
+		return t1
+	}
+	// Running, segment projection decided under the deadline: the
+	// framework's pre-scheduled finish lands at the projected eta,
+	// before the deadline, so no later grid instant can act — the
+	// controller goes fully dormant until a transition hook.
+	return 0
+}
+
+// resync (re)schedules the next event-driven check. Called after every
+// fired check and from the job-transition hooks.
+func (ac *AppController) resync() {
+	if !ac.evDriven || ac.stopped {
+		return
+	}
+	if ac.next != nil {
+		ac.next.Cancel()
+		ac.next = nil
+	}
+	at := ac.nextEffectAt()
+	if at == 0 {
+		return
+	}
+	ac.nextAt = at
+	ac.next = ac.cm.eng.After(at-ac.cm.eng.Now(), func() {
+		ac.next = nil
+		ac.check()
+		// A check that observed an execution segment in flight (elapsed
+		// > 0, so the eta branch ran) has decided the segment's constant
+		// projection; later grid instants are no-ops until a transition.
+		if ac.st.job != nil && ac.st.job.State == framework.JobRunning && !ac.poll &&
+			ac.cm.eng.Now() > ac.st.job.StartedAt {
+			ac.segChecked = true
+		}
+		ac.resync()
+	})
+}
+
+// jobStarted is the transition hook for a (re)started job: a fresh
+// execution segment needs one projection check.
+func (ac *AppController) jobStarted() {
+	ac.segChecked = false
+	if ac.next != nil && ac.nextAt == ac.cm.eng.Now() {
+		// A check due this very instant still fires after this event —
+		// matching the legacy tick at this grid instant, which evaluates
+		// identically before and after a zero-progress start.
+		return
+	}
+	ac.resync()
+}
+
+// jobInterrupted is the transition hook for suspension or crash
+// requeue: progress is no longer linear from StartedAt, so the app
+// polls every grid instant from here on, like the legacy controller.
+func (ac *AppController) jobInterrupted() {
+	ac.poll = true
+	if ac.next != nil && ac.nextAt == ac.cm.eng.Now() {
+		return // due this instant; let it fire, like the legacy tick
+	}
+	ac.resync()
 }
 
 // check inspects progress and deadline status.
@@ -108,15 +262,18 @@ func (ac *AppController) check() {
 		}
 		return
 	}
-	now := ac.cm.p.Eng.Now()
+	now := ac.cm.now()
 	deadline := st.rec.Deadline
 
 	// Hard violation: the deadline passed and the application has not
-	// finished. The Cluster Manager is informed exactly once.
+	// finished. The Cluster Manager is informed exactly once. The
+	// Enforcer may hold cross-VC state (ScaleOutEnforcer's boost budget
+	// is platform-wide), so it runs in the exclusive global context.
 	if now > deadline && !ac.reportedViolation {
 		ac.reportedViolation = true
-		ac.cm.p.Counters.Violations.Inc()
-		ac.cm.p.cfg.Enforcer.OnViolation(ac.cm, st.app.ID, false)
+		ac.cm.ctr().Violations.Inc()
+		cm, id := ac.cm, st.app.ID
+		cm.runGlobal(func() { cm.p.cfg.Enforcer.OnViolation(cm, id, false) })
 		return
 	}
 
@@ -144,8 +301,9 @@ func (ac *AppController) check() {
 
 func (ac *AppController) reportProjected() {
 	ac.reportedProjected = true
-	ac.cm.p.Counters.Projected.Inc()
-	ac.cm.p.cfg.Enforcer.OnViolation(ac.cm, ac.st.app.ID, true)
+	ac.cm.ctr().Projected.Inc()
+	cm, id := ac.cm, ac.st.app.ID
+	cm.runGlobal(func() { cm.p.cfg.Enforcer.OnViolation(cm, id, true) })
 }
 
 // checkService runs the service elasticity loop: pull the framework's
@@ -177,9 +335,9 @@ func (ac *AppController) checkService() {
 	target := ac.desiredReplicas(stats)
 	if target != stats.Target {
 		if target > stats.Target {
-			cm.p.Counters.ReplicaScaleOuts.Inc()
+			cm.ctr().ReplicaScaleOuts.Inc()
 		} else {
-			cm.p.Counters.ReplicaScaleIns.Inc()
+			cm.ctr().ReplicaScaleIns.Inc()
 		}
 		_ = svc.SetTargetReplicas(id, target)
 	}
@@ -197,8 +355,8 @@ func (ac *AppController) checkService() {
 	// before the burn accrues further.
 	if !ac.sloArmed {
 		ac.sloArmed = true
-		cm.p.Counters.Projected.Inc()
-		cm.p.cfg.Enforcer.OnViolation(cm, id, true)
+		cm.ctr().Projected.Inc()
+		cm.runGlobal(func() { cm.p.cfg.Enforcer.OnViolation(cm, id, true) })
 	}
 }
 
@@ -233,7 +391,7 @@ func (ac *AppController) checkServerless() {
 	if c.CostCap > 0 && c.PerInvocation > 0 && stats.Served*c.PerInvocation >= c.CostCap {
 		if !ac.capped {
 			ac.capped = true
-			cm.p.Counters.CostCapThrottles.Inc()
+			cm.ctr().CostCapThrottles.Inc()
 			_ = fw.SetInstanceCap(id, 1)
 		}
 	}
@@ -249,8 +407,8 @@ func (ac *AppController) checkServerless() {
 	// backlog burns further intervals.
 	if !ac.sloArmed {
 		ac.sloArmed = true
-		cm.p.Counters.Projected.Inc()
-		cm.p.cfg.Enforcer.OnViolation(cm, id, true)
+		cm.ctr().Projected.Inc()
+		cm.runGlobal(func() { cm.p.cfg.Enforcer.OnViolation(cm, id, true) })
 	}
 }
 
@@ -283,8 +441,13 @@ func (ac *AppController) desiredReplicas(stats service.Stats) int {
 
 // stop cancels the monitor.
 func (ac *AppController) stop() {
+	ac.stopped = true
 	if ac.tick != nil {
 		ac.tick.Cancel()
 		ac.tick = nil
+	}
+	if ac.next != nil {
+		ac.next.Cancel()
+		ac.next = nil
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"meryn/internal/metrics"
 	"meryn/internal/sim"
 	"meryn/internal/sla"
+	"meryn/internal/stats"
 	"meryn/internal/vmm"
 	"meryn/internal/workload"
 )
@@ -90,6 +91,21 @@ type ClusterManager struct {
 	fw   framework.Framework
 	ad   Adapter
 
+	// eng is the engine this CM (and its framework) dispatches on: the
+	// platform engine at Shards == 1, the CM's shard engine otherwise.
+	eng   *sim.Engine
+	shard int
+	// out is the CM's shard outbox (nil at Shards == 1): shard-phase
+	// effects on shared state buffer here until the window barrier.
+	out *shardOutbox
+
+	// latRN holds one RNG stream per pipeline-latency kind. Separate
+	// streams make each draw a function of (VC, kind, how many draws of
+	// that kind came before) — quantities the sharded and single-engine
+	// dispatch orders agree on — so latencies, and with them the whole
+	// simulation, reproduce across shard counts.
+	latRN [numLatKinds]*sim.RNG
+
 	// avail counts attached nodes not committed to any application —
 	// the CM's admission-control view of "available VMs" in Algorithms
 	// 1 and 2.
@@ -114,14 +130,23 @@ type ClusterManager struct {
 	OwnedPrivate int
 }
 
-// newClusterManager builds a CM and its framework instance.
-func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
+// newClusterManager builds a CM and its framework instance. idx is the
+// VC's position in configuration order; it fixes the CM's shard.
+func newClusterManager(p *Platform, cfg VCConfig, idx int) (*ClusterManager, error) {
 	cm := &ClusterManager{
 		name:  cfg.Name,
 		p:     p,
 		cfg:   cfg,
+		eng:   p.Eng,
 		nodes: make(map[string]*nodeInfo),
 		apps:  make(map[string]*appState),
+	}
+	if p.shards != nil {
+		cm.shard = idx % p.shards.NumShards()
+		cm.eng = p.shards.Shard(cm.shard)
+	}
+	for k := latKind(0); k < numLatKinds; k++ {
+		cm.latRN[k] = sim.NewRNG(p.cfg.Seed, "core/cm/"+cfg.Name+"/lat/"+latNames[k])
 	}
 	events := framework.Events{
 		OnStart:   cm.onJobStart,
@@ -143,7 +168,7 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 	}
 	switch cfg.Type {
 	case workload.TypeBatch:
-		cm.fw = batch.New(p.Eng, batch.Config{
+		cm.fw = batch.New(cm.eng, batch.Config{
 			Name: cfg.Name, Image: cfg.Name + ".img", Events: events, Backfill: cfg.Backfill,
 		})
 		cm.ad = &BatchAdapter{
@@ -159,7 +184,7 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 		if slots <= 0 {
 			slots = 2
 		}
-		cm.fw = mapreduce.New(p.Eng, mapreduce.Config{
+		cm.fw = mapreduce.New(cm.eng, mapreduce.Config{
 			Name: cfg.Name, Image: cfg.Name + ".img", SlotsPerNode: slots, Events: events,
 		})
 		cm.ad = &MapReduceAdapter{
@@ -172,7 +197,7 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 			ScaleOutLimit:     p.cfg.SLAScaleOutLimit,
 		}
 	case workload.TypeService:
-		cm.fw = service.New(p.Eng, service.Config{
+		cm.fw = service.New(cm.eng, service.Config{
 			Name: cfg.Name, Image: cfg.Name + ".img", Tick: p.cfg.ServiceTick, Events: events,
 		})
 		cm.ad = &ServiceAdapter{
@@ -186,7 +211,7 @@ func newClusterManager(p *Platform, cfg VCConfig) (*ClusterManager, error) {
 			Interval:          p.cfg.ServiceTick,
 		}
 	case workload.TypeServerless:
-		cm.fw = serverless.New(p.Eng, serverless.Config{
+		cm.fw = serverless.New(cm.eng, serverless.Config{
 			Name: cfg.Name, Image: cfg.Name + ".img", Tick: p.cfg.ServiceTick, Events: events,
 		})
 		cm.ad = &ServerlessAdapter{
@@ -241,6 +266,7 @@ func (cm *ClusterManager) attachPrivate(id string, speed float64) bool {
 		return false
 	}
 	cm.nodes[id] = &nodeInfo{rate: cm.p.cfg.PrivateVMCost}
+	cm.indexNode(id, true)
 	cm.avail++
 	cm.OwnedPrivate++
 	cm.fw.AddNode(framework.Node{ID: id, SpeedFactor: speed})
@@ -250,6 +276,7 @@ func (cm *ClusterManager) attachPrivate(id string, speed float64) bool {
 // attachCloud joins a leased cloud instance to the framework.
 func (cm *ClusterManager) attachCloud(inst *cloud.Instance, p *cloud.Provider) {
 	cm.nodes[inst.ID] = &nodeInfo{cloud: true, rate: inst.PriceAtLaunch, provider: p, instID: inst.ID}
+	cm.indexNode(inst.ID, true)
 	cm.avail++
 	cm.fw.AddNode(framework.Node{ID: inst.ID, SpeedFactor: inst.SpeedFactor, Cloud: true})
 }
@@ -282,6 +309,7 @@ func (cm *ClusterManager) detachFreeNodes(n int, wantCloud bool) ([]string, []*n
 		}
 		infos = append(infos, info)
 		delete(cm.nodes, id)
+		cm.indexNode(id, false)
 	}
 	return picked, infos
 }
@@ -301,19 +329,21 @@ func (cm *ClusterManager) BoostWithCloud(n int) {
 	if n <= 0 {
 		return
 	}
-	dur := sim.Seconds(cm.p.cfg.ProcessingEstimate)
-	p, typeName, _ := cm.cheapestCloud(n, dur, nil)
-	if p == nil {
-		return
-	}
-	cm.leaseVia(p, typeName, n, dur, cm.spotAllowed(nil),
-		func(p *cloud.Provider, live []*cloud.Instance, lost int) {
-			for _, inst := range live {
-				cm.attachCloud(inst, p)
-			}
-			cm.retryPending()
-		},
-		func() {}) // boosts are best-effort; sustained pressure re-fires the enforcer
+	cm.runGlobal(func() {
+		dur := sim.Seconds(cm.p.cfg.ProcessingEstimate)
+		p, typeName, _ := cm.cheapestCloud(n, dur, nil)
+		if p == nil {
+			return
+		}
+		cm.leaseVia(p, typeName, n, dur, cm.spotAllowed(nil),
+			func(p *cloud.Provider, live []*cloud.Instance, lost int) {
+				for _, inst := range live {
+					cm.attachCloud(inst, p)
+				}
+				cm.retryPending()
+			},
+			func() {}) // boosts are best-effort; sustained pressure re-fires the enforcer
+	})
 }
 
 // handleSubmission is the entry point after the Client Manager transfer
@@ -350,10 +380,10 @@ func (cm *ClusterManager) handleSubmission(app workload.App) {
 // rejectSubmission settles a submission that will not run (validation
 // failure or failed negotiation).
 func (cm *ClusterManager) rejectSubmission(neg *Negotiation, err error) {
-	cm.p.Counters.Rejections.Inc()
-	cm.p.appSettled()
+	cm.ctr().Rejections.Inc()
+	cm.settled()
 	if neg != nil {
-		neg.noteRejected(err)
+		neg.noteRejectedVia(cm, err)
 	}
 }
 
@@ -371,16 +401,160 @@ func (cm *ClusterManager) acceptContract(st *appState, contract *sla.Contract) {
 		neg.noteAgreed(cm, st, contract)
 	}
 	// SLA agreement + executable/input upload latency, then selection.
-	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Negotiate), func() {
+	cm.after(cm.lat(latNegotiate), func() {
 		cm.selectResources(st)
 	})
 }
 
-// lat samples a latency distribution into virtual time.
-func (cm *ClusterManager) lat(d interface {
-	Sample(*sim.RNG) float64
-}) sim.Time {
-	return sim.Seconds(d.Sample(cm.p.rng))
+// latKind names one Meryn pipeline latency (see Config.Latencies); each
+// (CM, kind) pair samples from its own RNG stream.
+type latKind int
+
+const (
+	latClientTransfer latKind = iota
+	latNegotiate
+	latDispatch
+	latBidRound
+	latConfigure
+	latCloudConfigure
+	latSuspendLocal
+	latSuspendRemote
+	numLatKinds
+)
+
+var latNames = [numLatKinds]string{
+	"client-transfer", "negotiate", "dispatch", "bid-round",
+	"configure", "cloud-configure", "suspend-local", "suspend-remote",
+}
+
+// latDist resolves a latency kind to its configured distribution.
+func (cm *ClusterManager) latDist(k latKind) stats.Dist {
+	l := &cm.p.cfg.Latencies
+	switch k {
+	case latClientTransfer:
+		return l.ClientTransfer
+	case latNegotiate:
+		return l.Negotiate
+	case latDispatch:
+		return l.Dispatch
+	case latBidRound:
+		return l.BidRound
+	case latConfigure:
+		return l.Configure
+	case latCloudConfigure:
+		return l.CloudConfigure
+	case latSuspendLocal:
+		return l.SuspendLocal
+	case latSuspendRemote:
+		return l.SuspendRemote
+	}
+	panic(fmt.Sprintf("core: unknown latency kind %d", k))
+}
+
+// lat samples a pipeline latency into virtual time, from the (CM, kind)
+// stream.
+func (cm *ClusterManager) lat(k latKind) sim.Time {
+	return sim.Seconds(cm.latDist(k).Sample(cm.latRN[k]))
+}
+
+// inShardPhase reports whether the caller runs on a concurrently
+// dispatching shard engine (always false at Shards == 1). The flag is
+// written only while no shard goroutines run, and the goroutine
+// spawn/join sequences it against shard-phase readers.
+func (cm *ClusterManager) inShardPhase() bool {
+	return cm.p.shards != nil && cm.p.inShard
+}
+
+// now is the CM's current logical time: its engine's clock inside the
+// shard phase, the platform clock outside it (global-engine callbacks
+// such as RM completions land mid-window, while the shard clock still
+// sits at the previous window's edge).
+func (cm *ClusterManager) now() sim.Time {
+	if cm.p.shards == nil || cm.inShardPhase() {
+		return cm.eng.Now()
+	}
+	return cm.p.Eng.Now()
+}
+
+// after schedules fn on the CM's engine, d past the CM's logical time.
+func (cm *ClusterManager) after(d sim.Time, fn func()) {
+	if cm.p.shards == nil || cm.inShardPhase() {
+		cm.eng.Schedule(d, fn)
+		return
+	}
+	cm.eng.At(cm.p.Eng.Now()+d, fn)
+}
+
+// runGlobal executes fn in the exclusive global context: directly when
+// the caller already is exclusive (always at Shards == 1), else
+// deferred to the current window's barrier. CM code wraps every touch
+// of shared platform state (cloud market, Resource Manager, peer VCs)
+// in it.
+func (cm *ClusterManager) runGlobal(fn func()) {
+	if cm.inShardPhase() {
+		cm.out.deferred = append(cm.out.deferred, fn)
+		return
+	}
+	fn()
+}
+
+// ctr returns where this CM's counter bumps go: the platform counters
+// at Shards == 1, the CM's outbox replica otherwise (summed into the
+// platform at the barrier).
+func (cm *ClusterManager) ctr() *Counters {
+	if cm.out != nil {
+		return &cm.out.counters
+	}
+	return &cm.p.Counters
+}
+
+// emit routes a session event-log append from CM context.
+func (cm *ClusterManager) emit(appID, kind, detail string) {
+	if cm.out != nil {
+		cm.out.emit(cm.now(), appID, kind, detail)
+		return
+	}
+	cm.p.sessionEmit(appID, kind, detail)
+}
+
+// settled routes an application settlement from CM context.
+func (cm *ClusterManager) settled() {
+	if cm.out != nil {
+		cm.out.settles = append(cm.out.settles, cm.now())
+		return
+	}
+	cm.p.appSettled()
+}
+
+// gaugeAdd routes a usage-gauge move from CM context (the gauges demand
+// time-ordered writes, so sharded mode merges them at the barrier).
+func (cm *ClusterManager) gaugeAdd(isCloud bool, at sim.Time, delta int) {
+	if delta == 0 {
+		return
+	}
+	if cm.out != nil {
+		cm.out.gauges = append(cm.out.gauges, gaugeOp{at: at, cloud: isCloud, delta: delta})
+		return
+	}
+	if isCloud {
+		cm.p.CloudUsed.Add(at, delta)
+	} else {
+		cm.p.PrivateUsed.Add(at, delta)
+	}
+}
+
+// indexNode records or clears this CM's ownership of a node in the
+// platform-wide node index (the crash/revocation router).
+func (cm *ClusterManager) indexNode(id string, add bool) {
+	if cm.out != nil {
+		cm.out.index = append(cm.out.index, indexOp{id: id, cm: cm, add: add})
+		return
+	}
+	if add {
+		cm.p.nodeCM[id] = cm
+	} else {
+		delete(cm.p.nodeCM, id)
+	}
 }
 
 // commit reserves n uncommitted VMs for the app and dispatches it.
@@ -403,7 +577,7 @@ func (cm *ClusterManager) commit(st *appState, placement metrics.Placement) {
 	}
 	cm.avail -= n
 	st.rec.Placement = placement
-	cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Dispatch), func() {
+	cm.after(cm.lat(latDispatch), func() {
 		cm.dispatch(st)
 	})
 }
@@ -432,13 +606,16 @@ func (cm *ClusterManager) onJobStart(j *framework.Job) {
 		st.rec.PeakReplicas = j.Replicas
 	}
 	cm.openSegment(st, j)
-	cm.p.sessionEmit(j.ID, "started", "")
+	cm.emit(j.ID, "started", "")
+	if st.controller != nil {
+		st.controller.jobStarted()
+	}
 }
 
 // openSegment captures the job's current node kinds and cost rates and
 // moves the usage gauges once with the whole delta.
 func (cm *ClusterManager) openSegment(st *appState, j *framework.Job) {
-	now := cm.p.Eng.Now()
+	now := cm.now()
 	st.segStart = now
 	// Rates accumulate in the framework's deterministic visit order, so
 	// the float sum reproduces run to run.
@@ -446,12 +623,8 @@ func (cm *ClusterManager) openSegment(st *appState, j *framework.Job) {
 	_ = cm.fw.VisitJobNodes(j.ID, cm.segVisit)
 	st.segCloudN, st.segPrivateN, st.segRate = cm.segAccum.cloudN, cm.segAccum.privateN, cm.segAccum.rate
 	st.segOpen = true
-	if st.segCloudN > 0 {
-		cm.p.CloudUsed.Add(now, st.segCloudN)
-	}
-	if st.segPrivateN > 0 {
-		cm.p.PrivateUsed.Add(now, st.segPrivateN)
-	}
+	cm.gaugeAdd(true, now, st.segCloudN)
+	cm.gaugeAdd(false, now, st.segPrivateN)
 }
 
 // onJobScale reacts to a running job's node set changing in place
@@ -481,15 +654,11 @@ func (cm *ClusterManager) closeSegment(st *appState) {
 	if !st.segOpen {
 		return
 	}
-	now := cm.p.Eng.Now()
+	now := cm.now()
 	dur := sim.ToSeconds(now - st.segStart)
 	st.rec.Cost += dur * st.segRate
-	if st.segCloudN > 0 {
-		cm.p.CloudUsed.Add(now, -st.segCloudN)
-	}
-	if st.segPrivateN > 0 {
-		cm.p.PrivateUsed.Add(now, -st.segPrivateN)
-	}
+	cm.gaugeAdd(true, now, -st.segCloudN)
+	cm.gaugeAdd(false, now, -st.segPrivateN)
 	st.segOpen = false
 	st.segCloudN, st.segPrivateN, st.segRate = 0, 0, 0
 }
@@ -503,7 +672,10 @@ func (cm *ClusterManager) onJobSuspend(j *framework.Job) {
 	st.rec.Suspended = true
 	cm.closeSegment(st)
 	st.lastReplicas = 0 // a suspended service holds no replicas
-	cm.p.sessionEmit(j.ID, "suspended", "")
+	cm.emit(j.ID, "suspended", "")
+	if st.controller != nil {
+		st.controller.jobInterrupted()
+	}
 }
 
 // onJobRequeue closes the segment of a job that lost its nodes to a
@@ -516,6 +688,9 @@ func (cm *ClusterManager) onJobRequeue(j *framework.Job) {
 		return
 	}
 	cm.closeSegment(st)
+	if st.controller != nil {
+		st.controller.jobInterrupted()
+	}
 	if cm.cfg.Type == workload.TypeServerless {
 		// A requeued function restarts cold at zero instances; nothing
 		// to re-book.
@@ -537,8 +712,14 @@ func (cm *ClusterManager) onJobRequeue(j *framework.Job) {
 // inflated forever, the charge never settled) and corrupted the
 // OwnedPrivate count.
 func (cm *ClusterManager) handleNodeCrash(id string) {
-	cm.p.Counters.NodeCrashes.Inc()
-	if info := cm.nodes[id]; info != nil && info.cloud {
+	info := cm.nodes[id]
+	if info == nil {
+		// Sharded routing hop: the node detached (transfer, GC) in the
+		// same window, between the index lookup and this event.
+		return
+	}
+	cm.ctr().NodeCrashes.Inc()
+	if info.cloud {
 		cm.handleCloudLoss(id, true)
 		return
 	}
@@ -546,20 +727,23 @@ func (cm *ClusterManager) handleNodeCrash(id string) {
 		panic(fmt.Sprintf("core: failing crashed node %s: %v", id, err))
 	}
 	delete(cm.nodes, id)
+	cm.indexNode(id, false)
 	cm.OwnedPrivate--
 	cm.avail-- // attached count dropped; commitments stand
 
-	cm.p.RM.StartPrivate(cm.Image(), 1, func(vms []*vmm.VM, err error) {
-		if err != nil {
-			return // capacity raced away; recover on future finishes
-		}
-		cm.p.Eng.Schedule(cm.lat(cm.p.cfg.Latencies.Configure), func() {
-			for _, vm := range vms {
-				cm.attachPrivate(vm.ID, vm.SpeedFactor)
+	cm.runGlobal(func() {
+		cm.p.RM.StartPrivate(cm.Image(), 1, func(vms []*vmm.VM, err error) {
+			if err != nil {
+				return // capacity raced away; recover on future finishes
 			}
-			cm.p.Counters.Replacements.Inc()
-			cm.tryResumeVictims()
-			cm.retryPending()
+			cm.after(cm.lat(latConfigure), func() {
+				for _, vm := range vms {
+					cm.attachPrivate(vm.ID, vm.SpeedFactor)
+				}
+				cm.ctr().Replacements.Inc()
+				cm.tryResumeVictims()
+				cm.retryPending()
+			})
 		})
 	})
 }
@@ -569,7 +753,10 @@ func (cm *ClusterManager) handleNodeCrash(id string) {
 // released the lease; the CM's job is requeueing the lost work and
 // re-running resource selection for replacement capacity.
 func (cm *ClusterManager) handleCloudRevocation(id string) {
-	cm.p.Counters.SpotRevocations.Inc()
+	if cm.nodes[id] == nil {
+		return // detached in the same window, after the routing hop
+	}
+	cm.ctr().SpotRevocations.Inc()
 	cm.handleCloudLoss(id, false)
 }
 
@@ -590,9 +777,10 @@ func (cm *ClusterManager) handleCloudLoss(id string, settleLease bool) {
 		panic(fmt.Sprintf("core: failing cloud node %s: %v", id, err))
 	}
 	delete(cm.nodes, id)
+	cm.indexNode(id, false)
 	cm.avail-- // attached count dropped; commitments stand
 	if settleLease && info.provider != nil {
-		cm.p.RM.Release(info.provider, info.instID)
+		cm.runGlobal(func() { cm.p.RM.Release(info.provider, info.instID) })
 	}
 	if len(hit) == 0 {
 		return // the node was idle; nothing to re-run
@@ -609,13 +797,24 @@ func (cm *ClusterManager) handleCloudLoss(id string, settleLease bool) {
 			worst = st
 		}
 	}
-	cm.leaseReplacement(worst)
+	cm.runGlobal(func() { cm.leaseReplacement(worst) })
 }
 
 // appsOnNode returns the applications occupying a node, in running
-// order — the work a revocation or crash is about to hit.
+// order — the work a revocation or crash is about to hit. Frameworks
+// expose the inverse node→jobs index (NodeJobVisitor), so the lookup
+// no longer walks every running job's node set per crash.
 func (cm *ClusterManager) appsOnNode(id string) []*appState {
 	var out []*appState
+	if v, ok := cm.fw.(framework.NodeJobVisitor); ok {
+		v.VisitNodeJobs(id, func(jobID string) bool {
+			if st := cm.apps[jobID]; st != nil {
+				out = append(out, st)
+			}
+			return true
+		})
+		return out
+	}
 	for _, j := range cm.fw.Running() {
 		found := false
 		_ = cm.fw.VisitJobNodes(j.ID, func(nid string) bool {
@@ -641,7 +840,7 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 	if st == nil {
 		return
 	}
-	now := cm.p.Eng.Now()
+	now := cm.now()
 	cm.closeSegment(st)
 	st.rec.EndTime = now
 	if st.contract.SLO != nil {
@@ -659,8 +858,8 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 		cm.avail += st.lastReplicas - st.contract.NumVMs
 		st.lastReplicas = 0
 	}
-	cm.p.sessionEmit(j.ID, "completed", "")
-	cm.p.appSettled()
+	cm.emit(j.ID, "completed", "")
+	cm.settled()
 
 	// Release idle cloud VMs first so they never masquerade as free
 	// private capacity (paper §3.5: stop cloud VMs when done).
@@ -670,7 +869,7 @@ func (cm *ClusterManager) onJobFinish(j *framework.Job) {
 		cm.owedLoan = append(cm.owedLoan, st.loan)
 		st.loan = nil
 	}
-	cm.processLoanReturns()
+	cm.runGlobal(cm.processLoanReturns)
 	// Resume suspended victims now that capacity freed up.
 	cm.tryResumeVictims()
 	cm.retryPending()
@@ -711,13 +910,13 @@ func (cm *ClusterManager) settleSLO(st *appState, j *framework.Job) {
 // controller sync and the final settle never double count).
 func (cm *ClusterManager) syncFunctionStats(rec *metrics.AppRecord, stats serverless.Stats) {
 	if d := stats.ColdStarts - rec.ColdStarts; d > 0 {
-		cm.p.Counters.ColdStarts.AddN(int64(d))
+		cm.ctr().ColdStarts.AddN(int64(d))
 	}
 	if d := stats.Activations - rec.Activations; d > 0 {
-		cm.p.Counters.Activations.AddN(int64(d))
+		cm.ctr().Activations.AddN(int64(d))
 	}
 	if d := stats.ZeroScales - rec.ZeroScales; d > 0 {
-		cm.p.Counters.ZeroScales.AddN(int64(d))
+		cm.ctr().ZeroScales.AddN(int64(d))
 	}
 	rec.SLOIntervals, rec.SLOBurned = stats.Intervals, stats.Burned
 	if stats.PeakReplicas > rec.PeakReplicas {
@@ -739,11 +938,13 @@ func (cm *ClusterManager) gcIdleCloud() {
 	}
 	picked, infos := cm.detachFreeNodes(n, true)
 	cm.avail -= len(picked)
-	for i := range picked {
-		if infos[i].provider != nil {
-			cm.p.RM.Release(infos[i].provider, infos[i].instID)
+	cm.runGlobal(func() {
+		for i := range picked {
+			if infos[i].provider != nil {
+				cm.p.RM.Release(infos[i].provider, infos[i].instID)
+			}
 		}
-	}
+	})
 }
 
 // tryResumeVictims resumes suspended applications FIFO while capacity
@@ -765,7 +966,7 @@ func (cm *ClusterManager) tryResumeVictims() {
 		if err := cm.fw.Resume(v.appID); err != nil {
 			panic(fmt.Sprintf("core: resuming %s: %v", v.appID, err))
 		}
-		cm.p.Counters.Resumes.Inc()
+		cm.ctr().Resumes.Inc()
 	}
 }
 
@@ -776,7 +977,7 @@ func (cm *ClusterManager) retryPending() {
 		st := cm.pending[0]
 		cm.pending = cm.pending[1:]
 		before := len(cm.pending)
-		cm.p.Counters.PendingRetries.Inc()
+		cm.ctr().PendingRetries.Inc()
 		cm.selectResources(st)
 		if len(cm.pending) > before {
 			return // it re-queued itself; wait for the next event

@@ -20,6 +20,7 @@ import (
 func (s *Session) Digest() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.p.flushOutboxes()
 	h := fnv.New64a()
 	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
 	w("t=%d;", s.p.Eng.Now())
@@ -31,8 +32,11 @@ func (s *Session) Digest() uint64 {
 		w("vc=%s|%s|%d|%d|%d|%d|%d;", cm.name, cm.cfg.Type, cm.cfg.InitialVMs,
 			cm.avail, cm.OwnedPrivate, len(cm.nodes), len(cm.apps))
 	}
-	w("m=%d|%d|%d|%d|%d;", s.p.PrivateUsed.Value(), s.p.CloudUsed.Value(),
-		s.p.Eng.Fired(), s.submitted, s.submitted-s.p.remaining)
+	// Fired-event counts are an engine-topology detail (audit events,
+	// window bookkeeping), not observable state; they stay out so the
+	// digest is invariant across shard counts.
+	w("m=%d|%d|%d|%d;", s.p.PrivateUsed.Value(), s.p.CloudUsed.Value(),
+		s.submitted, s.submitted-s.p.remaining)
 	for _, prov := range s.p.Clouds {
 		w("cloud=%g|%g;", prov.TotalSpend, prov.SpotSpend)
 	}

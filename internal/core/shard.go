@@ -1,0 +1,325 @@
+package core
+
+// Sharded execution of the platform core (Config.Shards > 1).
+//
+// Cluster Managers are partitioned round-robin across sim.Sharded shard
+// engines; the shared substrates (VMM, cloud providers, Resource
+// Manager, auditor) stay on the global engine. Within one tick window
+// the phases run global → feed (arrivals) → shards (concurrent) →
+// barrier. Shard-phase code may touch only its own CM's state and
+// engine; every effect on shared state is routed through a per-shard
+// outbox and applied here, at the barrier, in a canonical order:
+//
+//   - data ops (session emits, usage-gauge moves, app settlements) sort
+//     by (virtual time, shard index, per-shard FIFO order) — time order
+//     first, so merged series and event logs match the single-engine
+//     interleaving wherever event times differ (they do for every
+//     workload without cross-shard same-instant ties);
+//   - counter replicas are summed (order-free);
+//   - node→CM index updates and deferred closures (RM/cloud/cross-VC
+//     slow paths captured by ClusterManager.runGlobal) run in (shard
+//     index, FIFO) order.
+//
+// The global outbox (shard index -1) carries ops from the exclusive
+// feed phase and from session-context calls between windows, so they
+// merge through the same ordered pipeline.
+
+import (
+	"reflect"
+	"sort"
+
+	"meryn/internal/metrics"
+	"meryn/internal/sim"
+	"meryn/internal/workload"
+)
+
+// arrival is one queued external submission (sharded mode keeps
+// arrivals outside any event heap and feeds them per window, in time
+// order — cheaper than 10^6 pre-scheduled heap entries, and it gives
+// the feed phase an exclusive, ordered entry point).
+type arrival struct {
+	at  sim.Time
+	app workload.App
+}
+
+type emitOp struct {
+	at                  sim.Time
+	appID, kind, detail string
+}
+
+type gaugeOp struct {
+	at    sim.Time
+	cloud bool
+	delta int
+}
+
+type indexOp struct {
+	id  string
+	cm  *ClusterManager
+	add bool
+}
+
+// shardOutbox buffers one shard's (or the global context's) effects on
+// shared state until the barrier.
+type shardOutbox struct {
+	counters Counters  // replica, summed into Platform.Counters and zeroed
+	emits    []emitOp  // session event-log appends
+	gauges   []gaugeOp // PrivateUsed/CloudUsed moves
+	settles  []sim.Time
+	index    []indexOp
+	deferred []func() // exclusive closures (runGlobal)
+}
+
+func (o *shardOutbox) emit(at sim.Time, appID, kind, detail string) {
+	o.emits = append(o.emits, emitOp{at: at, appID: appID, kind: kind, detail: detail})
+}
+
+// outboxes returns the merge order: global context first (index -1 in
+// the canonical sort), then shards.
+func (p *Platform) outboxes() []*shardOutbox {
+	all := make([]*shardOutbox, 0, 1+len(p.outs))
+	all = append(all, p.gout)
+	return append(all, p.outs...)
+}
+
+// nextArrival is the sim.Sharded NextExternal hook.
+func (p *Platform) nextArrival() (sim.Time, bool) {
+	if p.arrPos < len(p.arrQ) {
+		return p.arrQ[p.arrPos].at, true
+	}
+	return 0, false
+}
+
+// queueArrival inserts a submission into the time-sorted arrival queue,
+// stable for equal times (submission order). Workloads arrive sorted in
+// practice, making the insertion O(1) amortized.
+func (p *Platform) queueArrival(at sim.Time, app workload.App) {
+	i := len(p.arrQ)
+	for i > p.arrPos && p.arrQ[i-1].at > at {
+		i--
+	}
+	p.arrQ = append(p.arrQ, arrival{})
+	copy(p.arrQ[i+1:], p.arrQ[i:])
+	p.arrQ[i] = arrival{at: at, app: app}
+}
+
+// feed is the sim.Sharded Feed hook: dispatch arrivals due in the
+// window through the Client Manager, in arrival order, each at its own
+// virtual instant. It ends by marking the shard phase open, so helpers
+// like ClusterManager.after know which clock leads.
+func (p *Platform) feed(limit sim.Time) {
+	s := p.currentSession()
+	for p.arrPos < len(p.arrQ) && p.arrQ[p.arrPos].at <= limit {
+		a := p.arrQ[p.arrPos]
+		p.arrPos++
+		if s != nil {
+			s.vnow, s.vnowSet = a.at, true
+		}
+		p.Client.submitAt(a.app, a.at)
+		if s != nil {
+			s.vnowSet = false
+		}
+	}
+	p.inShard = true
+}
+
+// barrier is the sim.Sharded Barrier hook: merge every outbox in
+// canonical order, then run any audit that fell due this window against
+// the merged (fully consistent) state.
+func (p *Platform) barrier(sim.Time) {
+	p.inShard = false
+	for {
+		p.mergeData()
+		closures := p.closBuf[:0]
+		for _, o := range p.outboxes() {
+			closures = append(closures, o.deferred...)
+			o.deferred = o.deferred[:0]
+		}
+		p.closBuf = closures[:0]
+		if len(closures) == 0 {
+			break
+		}
+		// Deferred closures run exclusively and may buffer further data
+		// ops (counters, emits, even new deferrals); loop until dry.
+		for _, fn := range closures {
+			fn()
+		}
+		// Drop the references so completed closures are collectable even
+		// while the buffer's capacity is reused.
+		clear(closures)
+	}
+	if p.auditPending {
+		p.auditPending = false
+		p.Audit.run()
+	}
+}
+
+// flushOutboxes applies ops buffered outside a window (session-context
+// calls) so snapshots like Digest observe them. No-op at Shards == 1.
+func (p *Platform) flushOutboxes() {
+	if p.shards == nil {
+		return
+	}
+	p.barrier(p.Eng.Now())
+}
+
+// taggedOp keys one buffered op for the canonical (time, shard, FIFO)
+// sort; box -1 is the global outbox.
+type taggedOp struct {
+	at       sim.Time
+	box, idx int
+}
+
+func sortOps(ops []taggedOp) {
+	sort.Slice(ops, func(i, j int) bool {
+		a, b := ops[i], ops[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.box != b.box {
+			return a.box < b.box
+		}
+		return a.idx < b.idx
+	})
+}
+
+// mergeData applies every buffered data op across the outboxes.
+func (p *Platform) mergeData() {
+	boxes := p.outboxes()
+	s := p.currentSession()
+
+	// The tag buffer is reused across barriers: merge runs once per
+	// window, and the per-call growth otherwise dominates the sharded
+	// runtime's allocation profile.
+	collect := func(times func(o *shardOutbox) int, at func(o *shardOutbox, i int) sim.Time) []taggedOp {
+		ops := p.mergeOps[:0]
+		for b, o := range boxes {
+			for i, n := 0, times(o); i < n; i++ {
+				ops = append(ops, taggedOp{at: at(o, i), box: b - 1, idx: i})
+			}
+		}
+		sortOps(ops)
+		p.mergeOps = ops[:0]
+		return ops
+	}
+
+	// Session event log.
+	if n := func() (n int) {
+		for _, o := range boxes {
+			n += len(o.emits)
+		}
+		return
+	}(); n > 0 {
+		for _, op := range collect(
+			func(o *shardOutbox) int { return len(o.emits) },
+			func(o *shardOutbox, i int) sim.Time { return o.emits[i].at },
+		) {
+			e := boxes[op.box+1].emits[op.idx]
+			if s != nil {
+				s.events = append(s.events, SessionEvent{
+					Seq: len(s.events) + 1, Time: e.at, AppID: e.appID, Kind: e.kind, Detail: e.detail,
+				})
+			}
+		}
+		for _, o := range boxes {
+			o.emits = o.emits[:0]
+		}
+	}
+
+	// Usage gauges (Series.Record requires time order).
+	if n := func() (n int) {
+		for _, o := range boxes {
+			n += len(o.gauges)
+		}
+		return
+	}(); n > 0 {
+		for _, op := range collect(
+			func(o *shardOutbox) int { return len(o.gauges) },
+			func(o *shardOutbox, i int) sim.Time { return o.gauges[i].at },
+		) {
+			g := boxes[op.box+1].gauges[op.idx]
+			if g.cloud {
+				p.CloudUsed.Add(g.at, g.delta)
+			} else {
+				p.PrivateUsed.Add(g.at, g.delta)
+			}
+		}
+		for _, o := range boxes {
+			o.gauges = o.gauges[:0]
+		}
+	}
+
+	// Settlements, in order, so the settle instant (the time the last
+	// application settles) is exactly the single-engine one.
+	if n := func() (n int) {
+		for _, o := range boxes {
+			n += len(o.settles)
+		}
+		return
+	}(); n > 0 {
+		for _, op := range collect(
+			func(o *shardOutbox) int { return len(o.settles) },
+			func(o *shardOutbox, i int) sim.Time { return o.settles[i] },
+		) {
+			p.appSettled()
+			if p.remaining == 0 && !p.settleFound {
+				p.settleFound, p.settleAt = true, op.at
+			}
+		}
+		for _, o := range boxes {
+			o.settles = o.settles[:0]
+		}
+	}
+
+	// Counter replicas: order-free sums.
+	for _, o := range boxes {
+		mergeCounters(&p.Counters, &o.counters)
+	}
+
+	// Node→CM index updates, (shard, FIFO) order.
+	for _, o := range boxes {
+		for _, op := range o.index {
+			if op.add {
+				p.nodeCM[op.id] = op.cm
+			} else {
+				delete(p.nodeCM, op.id)
+			}
+		}
+		o.index = o.index[:0]
+	}
+}
+
+// mergeCounters folds a replica into dst and zeroes it, enumerating
+// fields by reflection (the auditor's idiom: counters added later are
+// covered automatically).
+func mergeCounters(dst, src *Counters) {
+	dv := reflect.ValueOf(dst).Elem()
+	sv := reflect.ValueOf(src).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		sc, ok := sv.Field(i).Addr().Interface().(*metrics.Counter)
+		if !ok || sc.Count == 0 {
+			continue
+		}
+		dv.Field(i).Addr().Interface().(*metrics.Counter).AddN(sc.Count)
+		sc.Count = 0
+	}
+}
+
+// eventsPending counts queued events platform-wide: the global engine,
+// every shard engine, and unfed arrivals. The auditor's re-arm check
+// needs the platform-wide view — the global queue alone would disarm
+// audits while shards still hold the whole workload.
+func (p *Platform) eventsPending() int {
+	if p.shards != nil {
+		return p.shards.Pending() + (len(p.arrQ) - p.arrPos)
+	}
+	return p.Eng.Pending()
+}
+
+// firedAll reports dispatched events across all engines.
+func (p *Platform) firedAll() uint64 {
+	if p.shards != nil {
+		return p.shards.Fired()
+	}
+	return p.Eng.Fired()
+}

@@ -45,13 +45,21 @@ func TestSoakRandomOpsUnderAudit(t *testing.T) {
 	}
 	for _, seed := range seeds {
 		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { soak(t, seed) })
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { soak(t, seed, 1) })
 	}
 }
 
-func soak(t *testing.T, seed int64) {
+// soak runs the randomized campaign on a platform with the given shard
+// count and returns the post-drain session digest (the sharded
+// determinism test replays it and compares).
+func soak(t *testing.T, seed int64, shards int) uint64 {
 	var violations []error
-	p := newPlatform(t, soakConfig(seed, &violations))
+	cfg := soakConfig(seed, &violations)
+	cfg.Shards = shards
+	if shards > 1 {
+		cfg.ShardWindow = sim.Seconds(15)
+	}
+	p := newPlatform(t, cfg)
 	s, err := p.Open()
 	if err != nil {
 		t.Fatal(err)
@@ -156,4 +164,5 @@ func soak(t *testing.T, seed int64) {
 	if got := len(res.Ledger.ByType(string(workload.TypeServerless))); got == 0 {
 		t.Fatalf("seed %d: no serverless functions exercised in the soak", seed)
 	}
+	return s.Digest()
 }

@@ -32,7 +32,7 @@ type PenaltyNResult struct {
 func AblationPenaltyN(seed int64, opt Options) (*PenaltyNResult, error) {
 	ns := []float64{1, 2, 4, 8}
 	res := &PenaltyNResult{Points: make([]PenaltyNPoint, len(ns))}
-	results, err := RunScenarios(len(ns), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(ns), opt, func(i int) Scenario {
 		n := ns[i]
 		return Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
 			cfg.PenaltyN = n
@@ -96,7 +96,7 @@ type BillingResult struct {
 func AblationBilling(seed int64, opt Options) (*BillingResult, error) {
 	models := []cloud.Billing{cloud.BillPerSecond, cloud.BillPerHour}
 	res := &BillingResult{Points: make([]BillingPoint, len(models))}
-	results, err := RunScenarios(len(models), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(models), opt, func(i int) Scenario {
 		return Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
 			cfg.Clouds[0].Billing = models[i]
 		}}
@@ -162,7 +162,7 @@ func AblationPolicies(seed int64, opt Options) (*PoliciesResult, error) {
 		cells = append(cells, cell{l, core.PolicyMeryn}, cell{l, core.PolicyStatic})
 	}
 	res := &PoliciesResult{Points: make([]PolicyPoint, len(cells))}
-	results, err := RunScenarios(len(cells), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(cells), opt, func(i int) Scenario {
 		c := cells[i]
 		wl := workload.DefaultPaperConfig()
 		wl.VC1Apps = c.load
@@ -216,7 +216,7 @@ type MarketResult struct {
 func AblationMarket(seed int64, opt Options) (*MarketResult, error) {
 	vols := []float64{0, 0.05, 0.15, 0.30}
 	res := &MarketResult{Points: make([]MarketPoint, len(vols))}
-	results, err := RunScenarios(len(vols), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(vols), opt, func(i int) Scenario {
 		vol := vols[i]
 		return Scenario{Seed: seed, Mutate: func(cfg *core.Config) {
 			if vol > 0 {
@@ -299,7 +299,7 @@ func AblationSuspension(seed int64, opt Options) (*SuspensionResult, error) {
 		}
 	}
 	res := &SuspensionResult{Points: make([]SuspensionPoint, 2)}
-	results, err := RunScenarios(2, opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(2, opt, func(i int) Scenario {
 		return Scenario{Seed: seed, Mutate: mutate(i == 1), Workload: wl}
 	})
 	if err != nil {

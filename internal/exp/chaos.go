@@ -198,7 +198,7 @@ func (m ChaosMatrix) Chaos(opt Options) (*ChaosResult, error) {
 		m.Reps = opt.Reps
 	}
 	runs := m.expand()
-	results, err := RunScenarios(len(runs), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(runs), opt, func(i int) Scenario {
 		r := runs[i]
 		return ChaosScenario(ChaosScenarioConfig{
 			Seed: r.seed, Policy: r.policy, Intensity: r.intensity,

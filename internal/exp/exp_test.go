@@ -290,11 +290,14 @@ func TestAblationRealisticMerynWins(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
+	if len(all) != 15 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	if _, ok := Find("serverless"); !ok {
 		t.Fatal("serverless not found")
+	}
+	if _, ok := Find("scale"); !ok {
+		t.Fatal("scale not found")
 	}
 	if _, ok := Find("fig5"); !ok {
 		t.Fatal("fig5 not found")

@@ -20,7 +20,7 @@ type Fig5Result struct {
 
 // Fig5 runs the paper workload under both policies.
 func Fig5(seed int64, opt Options) (*Fig5Result, error) {
-	rs, err := RunScenarios(2, opt.Workers, func(i int) Scenario {
+	rs, err := RunScenarios(2, opt, func(i int) Scenario {
 		policy := core.PolicyMeryn
 		if i == 1 {
 			policy = core.PolicyStatic

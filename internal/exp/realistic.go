@@ -88,7 +88,7 @@ func AblationRealistic(seed int64, opt Options) (*RealisticResult, error) {
 		cells = append(cells, cell{f, core.PolicyMeryn}, cell{f, core.PolicyStatic})
 	}
 	res := &RealisticResult{Points: make([]RealisticPoint, len(cells))}
-	results, err := RunScenarios(len(cells), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(cells), opt, func(i int) Scenario {
 		c := cells[i]
 		return Scenario{Policy: c.policy, Seed: seed, Workload: families[c.family],
 			Label: fmt.Sprintf("realistic %s/%v", c.family, c.policy)}

@@ -250,7 +250,7 @@ func (m ServerlessMatrix) Serverless(opt Options) (*ServerlessResult, error) {
 	// (function state persists past job completion). RunScenarios keeps
 	// run order, each entry is written exactly once, so no lock.
 	plats := make([]*core.Platform, len(runs))
-	results, err := RunScenarios(len(runs), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(runs), opt, func(i int) Scenario {
 		r := runs[i]
 		s := ServerlessScenario(ServerlessScenarioConfig{
 			Seed: r.seed, ColdStartS: r.cold, IdleGapS: r.gap, ConcTarget: r.conc, Canary: true,

@@ -203,7 +203,7 @@ func (m ServicesMatrix) Services(opt Options) (*ServicesResult, error) {
 		m.Reps = opt.Reps
 	}
 	runs := m.expand()
-	results, err := RunScenarios(len(runs), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(runs), opt, func(i int) Scenario {
 		r := runs[i]
 		return ServiceScenario(ServiceScenarioConfig{
 			Seed: r.seed, Policy: r.policy, LoadMult: r.load, BurstAmp: r.burst,

@@ -197,7 +197,7 @@ func (m SpotMatrix) Spot(opt Options) (*SpotResult, error) {
 		m.Reps = opt.Reps
 	}
 	runs := m.expand()
-	results, err := RunScenarios(len(runs), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(runs), opt, func(i int) Scenario {
 		r := runs[i]
 		return SpotScenario(SpotScenarioConfig{
 			Seed: r.seed, Policy: r.policy, BidMult: r.bidMult, Vol: r.vol,

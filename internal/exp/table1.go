@@ -151,7 +151,7 @@ func Table1(samples int, baseSeed int64, opt Options) (*Table1Result, error) {
 	for i := range cases {
 		res.Rows[i] = Table1Row{Case: cases[i].Name, PaperLo: cases[i].PaperLo, PaperHi: cases[i].PaperHi}
 	}
-	results, err := RunScenarios(len(units), opt.Workers, func(i int) Scenario {
+	results, err := RunScenarios(len(units), opt, func(i int) Scenario {
 		u := units[i]
 		seed := baseSeed + int64(u.sample)*1000 + int64(u.caseIdx)
 		s := cases[u.caseIdx].scenario(seed)

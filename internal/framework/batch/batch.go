@@ -209,6 +209,14 @@ func (b *Batch) InspectNode(id string) (framework.NodeStatus, bool) {
 	}, true
 }
 
+// VisitNodeJobs implements framework.NodeJobVisitor: a batch node
+// hosts at most one job.
+func (b *Batch) VisitNodeJobs(nodeID string, visit func(jobID string) bool) {
+	if ns, ok := b.nodes[nodeID]; ok && ns.jobID != "" {
+		visit(ns.jobID)
+	}
+}
+
 // FreeNodeIDs implements framework.Framework.
 func (b *Batch) FreeNodeIDs() []string {
 	return b.free.CollectN(nil, -1)
@@ -321,6 +329,15 @@ func (b *Batch) VisitJobNodes(id string, visit func(id string) bool) error {
 
 // Progress implements framework.Framework.
 func (b *Batch) Progress(id string) (float64, error) {
+	return b.ProgressAt(id, b.eng.Now())
+}
+
+// ProgressAt reports what Progress would return at virtual instant at,
+// assuming the job's current run (if any) continues uninterrupted until
+// then. The float operations mirror Progress exactly — Progress
+// delegates here — so a caller projecting a future poll computes the
+// poll's exact value.
+func (b *Batch) ProgressAt(id string, at sim.Time) (float64, error) {
 	je, ok := b.jobs[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrJobUnknown, id)
@@ -328,7 +345,7 @@ func (b *Batch) Progress(id string) (float64, error) {
 	j := je.job
 	done := j.DoneWork
 	if run, running := b.runs[id]; running {
-		done += sim.ToSeconds(b.eng.Now()-run.startedAt) * run.speed * float64(len(run.nodeIDs))
+		done += sim.ToSeconds(at-run.startedAt) * run.speed * float64(len(run.nodeIDs))
 	}
 	p := done / j.Work
 	if p > 1 {

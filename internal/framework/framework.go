@@ -144,6 +144,19 @@ type Inspector interface {
 	InspectNode(id string) (NodeStatus, bool)
 }
 
+// NodeJobVisitor is implemented by frameworks that can enumerate the
+// running jobs occupying one node without scanning unrelated jobs —
+// the inverse of VisitJobNodes. The platform uses it on node loss
+// (crash, revocation) to find the hit applications directly; without
+// it, the caller falls back to visiting every running job's node set.
+type NodeJobVisitor interface {
+	// VisitNodeJobs calls visit for each distinct running job occupying
+	// the node, in a deterministic order (submission order in this
+	// repository's frameworks), stopping early when visit returns false.
+	// Unknown node IDs visit nothing.
+	VisitNodeJobs(nodeID string, visit func(jobID string) bool)
+}
+
 // Framework is what the Cluster Manager's generic part drives. All
 // methods are synchronous in simulated time; real-world latencies (VM
 // boot, daemon configuration) are charged by the callers that wrap them.

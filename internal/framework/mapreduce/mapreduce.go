@@ -255,6 +255,20 @@ func (m *MapReduce) InspectNode(id string) (framework.NodeStatus, bool) {
 	}, true
 }
 
+// VisitNodeJobs implements framework.NodeJobVisitor: MapReduce nodes
+// host task slots of several jobs, so the lookup checks each active
+// job's per-node use index (an O(1) map probe per job — no walk over
+// the job's node set).
+func (m *MapReduce) VisitNodeJobs(nodeID string, visit func(jobID string) bool) {
+	for _, js := range m.active.Values() {
+		if js.nodeUse[nodeID] > 0 {
+			if !visit(js.job.ID) {
+				return
+			}
+		}
+	}
+}
+
 // FreeNodeIDs implements framework.Framework (fully idle enabled nodes).
 func (m *MapReduce) FreeNodeIDs() []string {
 	return m.buckets[0].CollectN(nil, -1)

@@ -322,6 +322,14 @@ func (s *Serverless) InspectNode(id string) (framework.NodeStatus, bool) {
 	}, true
 }
 
+// VisitNodeJobs implements framework.NodeJobVisitor: a serverless node
+// hosts at most one function instance.
+func (s *Serverless) VisitNodeJobs(nodeID string, visit func(jobID string) bool) {
+	if ns, ok := s.nodes[nodeID]; ok && ns.jobID != "" {
+		visit(ns.jobID)
+	}
+}
+
 // FreeNodeIDs implements framework.Framework.
 func (s *Serverless) FreeNodeIDs() []string { return s.free.CollectN(nil, -1) }
 

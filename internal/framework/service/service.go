@@ -275,6 +275,14 @@ func (s *Service) InspectNode(id string) (framework.NodeStatus, bool) {
 	}, true
 }
 
+// VisitNodeJobs implements framework.NodeJobVisitor: a service node
+// hosts at most one replica.
+func (s *Service) VisitNodeJobs(nodeID string, visit func(jobID string) bool) {
+	if ns, ok := s.nodes[nodeID]; ok && ns.jobID != "" {
+		visit(ns.jobID)
+	}
+}
+
 // FreeNodeIDs implements framework.Framework.
 func (s *Service) FreeNodeIDs() []string { return s.free.CollectN(nil, -1) }
 

@@ -122,6 +122,26 @@ type Ledger struct {
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger { return &Ledger{byID: make(map[string]*AppRecord)} }
 
+// Reserve pre-sizes the ledger for n additional records, so bulk
+// submission (the scale scenario opens 10^6 records) avoids rehash and
+// append-doubling churn. It never shrinks and does not change contents.
+func (l *Ledger) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	want := len(l.records) + n
+	if cap(l.records) < want {
+		grown := make([]*AppRecord, len(l.records), want)
+		copy(grown, l.records)
+		l.records = grown
+	}
+	rehash := make(map[string]*AppRecord, want)
+	for id, r := range l.byID {
+		rehash[id] = r
+	}
+	l.byID = rehash
+}
+
 // Open creates and registers a record for an application.
 func (l *Ledger) Open(id string) *AppRecord {
 	if _, dup := l.byID[id]; dup {

@@ -75,15 +75,16 @@ func (q *eventQueue) Pop() any {
 // not yet reached that instant when they were pushed), so interleaving
 // by (at, seq) preserves the global FIFO tie-break.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	ring    []*event // FIFO of events at the current instant
-	ringPos int      // consumption cursor into ring
-	free    []*event // recycled event records
-	seq     uint64
-	running bool
-	stopped bool
-	fired   uint64
+	now       Time
+	queue     eventQueue
+	ring      []*event // FIFO of events at the current instant
+	ringPos   int      // consumption cursor into ring
+	free      []*event // recycled event records
+	seq       uint64
+	running   bool
+	stopped   bool
+	fired     uint64
+	lastFired Time // time of the most recently dispatched event
 }
 
 // alloc takes an event record from the free list (or allocates one) and
@@ -169,6 +170,24 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are queued.
 func (e *Engine) Pending() int { return len(e.queue) + len(e.ring) - e.ringPos }
+
+// LastFired returns the time of the most recently dispatched event (the
+// zero Time when none fired yet). Unlike Now, it does not move when Run
+// advances the clock to an event-free horizon.
+func (e *Engine) LastFired() Time { return e.lastFired }
+
+// NextAt returns the time of the earliest queued event and whether one
+// exists. Cancelled events still count until they drain: NextAt is a
+// scheduling bound, not a guarantee that work will run at that instant.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.ringPos < len(e.ring) {
+		return e.now, true
+	}
+	if len(e.queue) > 0 {
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
 
 // Schedule runs fn after delay. A negative delay is an error in the
 // caller; it is clamped to zero so the event fires at the current instant
@@ -257,6 +276,7 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.now = ev.at
 		e.fired++
+		e.lastFired = ev.at
 		fn := ev.fn
 		e.recycle(ev)
 		fn()
@@ -290,6 +310,7 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		e.lastFired = ev.at
 		fn := ev.fn
 		e.recycle(ev)
 		fn()

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded coordinates one global Engine plus N shard Engines through
+// fixed-protocol tick windows, so independent event domains (in Meryn:
+// the per-VC Cluster Managers) can dispatch concurrently without giving
+// up determinism.
+//
+// Each window [t0, limit] (limit = t0 + Window - 1, capped by the
+// caller's horizon) runs four phases:
+//
+//  1. global phase — the Global engine runs to limit, exclusively.
+//     Shared substrates (VM manager, cloud market, resource manager)
+//     live here; global handlers may schedule onto shard engines.
+//  2. feed phase — the Feed hook dispatches external arrivals due in
+//     the window, exclusively, in arrival order.
+//  3. shard phase — every shard engine runs to limit; shards with
+//     pending work run on their own goroutines, concurrently. Shard
+//     handlers must touch only their shard's state and engine; effects
+//     on shared state are queued for the barrier.
+//  4. barrier — the Barrier hook merges queued cross-shard effects in
+//     a canonical order, exclusively.
+//
+// Phases never overlap, so only phase 3 is concurrent, and everything
+// it reads was sequenced before the window (happens-before via the
+// goroutine joins). Determinism then reduces to the Barrier applying
+// queued effects in an order independent of goroutine scheduling.
+type Sharded struct {
+	// Global is the engine for shared substrates. Its clock is the
+	// platform clock: after each window all engines sit at the same
+	// instant.
+	Global *Engine
+	// Window is the tick-window width. Larger windows amortize barrier
+	// overhead; the window never splits an event (events at the window
+	// edge fire inside it), it only bounds how far clocks advance
+	// between merges.
+	Window Time
+	// NextExternal reports the earliest pending external arrival, if
+	// any, so windows open early enough to feed it. May be nil.
+	NextExternal func() (Time, bool)
+	// Feed dispatches external arrivals with times <= limit. May be nil.
+	Feed func(limit Time)
+	// Barrier merges queued cross-shard effects after the shard phase.
+	// May be nil.
+	Barrier func(limit Time)
+
+	shards []*Engine
+	wg     sync.WaitGroup
+	panics []any
+}
+
+// NewSharded returns a coordinator with n shard engines around the
+// given global engine. Window must be positive.
+func NewSharded(global *Engine, n int, window Time) *Sharded {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards", n))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: NewSharded with non-positive window %v", window))
+	}
+	s := &Sharded{Global: global, Window: window, panics: make([]any, n)}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, NewEngine())
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard engine i.
+func (s *Sharded) Shard(i int) *Engine { return s.shards[i] }
+
+// NextAt returns the earliest pending instant across the global engine,
+// all shard engines, and the external arrival source.
+func (s *Sharded) NextAt() (Time, bool) {
+	best, ok := s.Global.NextAt()
+	for _, sh := range s.shards {
+		if t, o := sh.NextAt(); o && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	if s.NextExternal != nil {
+		if t, o := s.NextExternal(); o && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// Pending reports queued events across all engines (external arrivals
+// are the caller's to count).
+func (s *Sharded) Pending() int {
+	n := s.Global.Pending()
+	for _, sh := range s.shards {
+		n += sh.Pending()
+	}
+	return n
+}
+
+// Fired reports total dispatched events across all engines.
+func (s *Sharded) Fired() uint64 {
+	n := s.Global.Fired()
+	for _, sh := range s.shards {
+		n += sh.Fired()
+	}
+	return n
+}
+
+// LastFired returns the latest event time dispatched by any engine.
+func (s *Sharded) LastFired() Time {
+	t := s.Global.LastFired()
+	for _, sh := range s.shards {
+		if lf := sh.LastFired(); lf > t {
+			t = lf
+		}
+	}
+	return t
+}
+
+// RunWindow executes one tick window, holding the window end at or
+// below cap. It reports the window's end instant and whether a window
+// ran: false means nothing is pending at or before cap, with no clock
+// movement. After a true return all engine clocks sit at the returned
+// instant.
+func (s *Sharded) RunWindow(cap Time) (Time, bool) {
+	t0, ok := s.NextAt()
+	if !ok || t0 > cap {
+		return s.Global.Now(), false
+	}
+	limit := t0 + s.Window - 1
+	if limit > cap || limit < t0 { // second clause: horizon overflow
+		limit = cap
+	}
+
+	s.Global.Run(limit)
+	if s.Feed != nil {
+		s.Feed(limit)
+	}
+
+	spawned := 0
+	for i, sh := range s.shards {
+		if t, o := sh.NextAt(); o && t <= limit {
+			s.wg.Add(1)
+			spawned++
+			go s.runShard(i, sh, limit)
+			continue
+		}
+		sh.Run(limit) // no due events: advance the clock inline
+	}
+	if spawned > 0 {
+		s.wg.Wait()
+		for i, p := range s.panics {
+			if p != nil {
+				s.panics[i] = nil
+				panic(fmt.Sprintf("sim: shard %d panicked in window ending %v: %v", i, limit, p))
+			}
+		}
+	}
+
+	if s.Barrier != nil {
+		s.Barrier(limit)
+	}
+	return limit, true
+}
+
+func (s *Sharded) runShard(i int, sh *Engine, limit Time) {
+	defer func() {
+		s.panics[i] = recover()
+		s.wg.Done()
+	}()
+	sh.Run(limit)
+}
+
+// AdvanceTo moves every engine's clock to t without expecting events
+// (callers use it to align clocks with a horizon after the last
+// window). Events at or before t, if any remain, still fire — on the
+// caller's goroutine, sequentially.
+func (s *Sharded) AdvanceTo(t Time) {
+	s.Global.Run(t)
+	for _, sh := range s.shards {
+		sh.Run(t)
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// The window protocol must sequence global → feed → shards → barrier,
+// and every engine's clock must land on the window end.
+func TestShardedWindowProtocol(t *testing.T) {
+	g := NewEngine()
+	s := NewSharded(g, 2, Seconds(10))
+
+	var mu atomic.Int32 // phase marker: 1=global ran, 2=feed ran, 3=shards ran
+	var trace []string
+	g.At(Seconds(1), func() {
+		mu.Store(1)
+		trace = append(trace, "global@1s")
+	})
+	fed := false
+	s.Feed = func(limit Time) {
+		if mu.Load() != 1 {
+			t.Errorf("feed ran before global phase")
+		}
+		if !fed {
+			fed = true
+			trace = append(trace, "feed")
+			s.Shard(0).At(Seconds(3), func() { mu.Store(3) })
+			s.Shard(1).At(Seconds(4), func() { mu.Store(3) })
+		}
+		mu.Store(2)
+	}
+	barriers := 0
+	s.Barrier = func(limit Time) {
+		barriers++
+		if m := mu.Load(); m != 3 && m != 2 {
+			t.Errorf("barrier saw phase marker %d", m)
+		}
+		trace = append(trace, "barrier")
+	}
+
+	end, ok := s.RunWindow(Forever)
+	if !ok {
+		t.Fatal("expected a window to run")
+	}
+	if want := Seconds(1) + Seconds(10) - 1; end != want {
+		t.Fatalf("window end = %v, want %v", end, want)
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if now := s.Shard(i).Now(); now != end {
+			t.Errorf("shard %d clock = %v, want %v", i, now, end)
+		}
+	}
+	if g.Now() != end {
+		t.Errorf("global clock = %v, want %v", g.Now(), end)
+	}
+	if got := strings.Join(trace, ","); got != "global@1s,feed,barrier" {
+		t.Errorf("trace = %s", got)
+	}
+	if barriers != 1 {
+		t.Errorf("barriers = %d", barriers)
+	}
+}
+
+// Shards with due events run concurrently on separate goroutines; the
+// barrier still observes all their effects (join happens-before).
+func TestShardedParallelShards(t *testing.T) {
+	g := NewEngine()
+	s := NewSharded(g, 4, Seconds(100))
+	var fired atomic.Int64
+	for i := 0; i < 4; i++ {
+		sh := s.Shard(i)
+		for k := 0; k < 100; k++ {
+			sh.At(Seconds(float64(k)), func() { fired.Add(1) })
+		}
+	}
+	if _, ok := s.RunWindow(Forever); !ok {
+		t.Fatal("expected a window")
+	}
+	if fired.Load() != 400 {
+		t.Fatalf("fired = %d, want 400", fired.Load())
+	}
+	if s.Fired() != 400 {
+		t.Fatalf("Fired() = %d, want 400", s.Fired())
+	}
+	if lf := s.LastFired(); lf != Seconds(99) {
+		t.Fatalf("LastFired = %v, want %v", lf, Seconds(99))
+	}
+}
+
+// NextAt spans the global engine, shard engines, and the external
+// arrival source.
+func TestShardedNextAt(t *testing.T) {
+	g := NewEngine()
+	s := NewSharded(g, 2, Seconds(10))
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("empty coordinator reported pending work")
+	}
+	g.At(Seconds(9), func() {})
+	s.Shard(1).At(Seconds(7), func() {})
+	ext := Seconds(5)
+	s.NextExternal = func() (Time, bool) { return ext, true }
+	if at, ok := s.NextAt(); !ok || at != Seconds(5) {
+		t.Fatalf("NextAt = %v,%v, want 5s", at, ok)
+	}
+	ext = Seconds(30)
+	if at, ok := s.NextAt(); !ok || at != Seconds(7) {
+		t.Fatalf("NextAt = %v,%v, want 7s", at, ok)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+}
+
+// A horizon cap truncates the window; events beyond the cap stay queued.
+func TestShardedRunWindowCap(t *testing.T) {
+	g := NewEngine()
+	s := NewSharded(g, 1, Seconds(10))
+	ran := 0
+	s.Shard(0).At(Seconds(2), func() { ran++ })
+	s.Shard(0).At(Seconds(6), func() { ran++ })
+	end, ok := s.RunWindow(Seconds(4))
+	if !ok || end != Seconds(4) {
+		t.Fatalf("RunWindow = %v,%v, want 4s,true", end, ok)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (event at 6s is beyond the cap)", ran)
+	}
+	// Nothing pending at or before the cap: no window runs.
+	if _, ok := s.RunWindow(Seconds(4)); ok {
+		t.Fatal("window ran with nothing due before the cap")
+	}
+	s.AdvanceTo(Seconds(5))
+	if g.Now() != Seconds(5) || s.Shard(0).Now() != Seconds(5) {
+		t.Fatalf("AdvanceTo left clocks at %v / %v", g.Now(), s.Shard(0).Now())
+	}
+	if ran != 1 {
+		t.Fatalf("AdvanceTo fired a beyond-horizon event")
+	}
+}
+
+// A panic on a shard goroutine surfaces on the coordinator's goroutine.
+func TestShardedPanicPropagates(t *testing.T) {
+	g := NewEngine()
+	s := NewSharded(g, 2, Seconds(10))
+	s.Shard(1).At(Seconds(1), func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shard panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") || !strings.Contains(r.(string), "shard 1") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	s.RunWindow(Forever)
+}
